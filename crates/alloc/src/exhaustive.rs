@@ -1,0 +1,185 @@
+//! Exhaustive binary-assignment search for small instances.
+//!
+//! Insight 2 says the practical optimum is (nearly) binary: each TX is
+//! either dark or at full swing toward one receiver. For small deployments
+//! the binary space is enumerable — `(M+1)^N` assignments — giving a
+//! ground-truth optimum to validate the continuous gradient solver and the
+//! SJR heuristic against. This is a test/validation tool, not a production
+//! allocator: the paper's 36-TX instance has `5³⁶ ≈ 10²⁵` assignments.
+
+use crate::model::{Allocation, SystemModel};
+use serde::{Deserialize, Serialize};
+
+/// The exhaustive-search result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExhaustiveResult {
+    /// The best binary allocation found.
+    pub allocation: Allocation,
+    /// Its sum-log objective.
+    pub objective: f64,
+    /// Its system throughput in bit/s.
+    pub system_bps: f64,
+    /// Assignments evaluated.
+    pub evaluated: u64,
+}
+
+/// Enumerates every binary assignment (each TX off or full-swing toward one
+/// RX) within the power budget and returns the best by sum-log objective,
+/// falling back to system throughput while some receiver is still unserved.
+///
+/// # Panics
+/// Panics when the search space exceeds `max_assignments` (guard against
+/// accidentally exhausting a 36-TX instance) or the budget is not positive.
+pub fn exhaustive_binary(
+    model: &SystemModel,
+    budget_w: f64,
+    max_assignments: u64,
+) -> ExhaustiveResult {
+    assert!(budget_w > 0.0, "budget must be positive");
+    let n_tx = model.n_tx();
+    let n_rx = model.n_rx();
+    let choices = (n_rx + 1) as u64;
+    let space: u64 = choices
+        .checked_pow(n_tx as u32)
+        .expect("search space fits in u64");
+    assert!(
+        space <= max_assignments,
+        "search space {space} exceeds the {max_assignments} guard"
+    );
+
+    let full = model.led.max_swing;
+    let full_power = model.dyn_resistance() * (full / 2.0) * (full / 2.0);
+    let max_active = (budget_w / full_power).floor() as usize;
+
+    let mut best: Option<(Allocation, f64, f64)> = None;
+    let mut evaluated = 0u64;
+    let mut code = vec![0usize; n_tx]; // 0 = off, 1..=n_rx = serve RX-1
+    loop {
+        evaluated += 1;
+        let active = code.iter().filter(|&&c| c > 0).count();
+        if active <= max_active {
+            let mut alloc = Allocation::zeros(n_tx, n_rx);
+            for (tx, &c) in code.iter().enumerate() {
+                if c > 0 {
+                    alloc.set_swing(tx, c - 1, full);
+                }
+            }
+            let obj = model.sum_log_throughput(&alloc);
+            let bps = model.system_throughput(&alloc);
+            // Rank finite objectives first; among −∞ (some RX unserved),
+            // prefer higher raw throughput so tiny budgets still return a
+            // sensible allocation.
+            let better = match &best {
+                None => true,
+                Some((_, b_obj, b_bps)) => {
+                    if obj.is_finite() || b_obj.is_finite() {
+                        obj > *b_obj
+                    } else {
+                        bps > *b_bps
+                    }
+                }
+            };
+            if better {
+                best = Some((alloc, obj, bps));
+            }
+        }
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == n_tx {
+                let (allocation, objective, system_bps) =
+                    best.expect("at least the all-off assignment was evaluated");
+                return ExhaustiveResult {
+                    allocation,
+                    objective,
+                    system_bps,
+                    evaluated,
+                };
+            }
+            code[i] += 1;
+            if code[i] <= n_rx {
+                break;
+            }
+            code[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::{heuristic_allocation, HeuristicConfig};
+    use crate::optimal::OptimalSolver;
+    use vlc_channel::{ChannelMatrix, RxOptics};
+    use vlc_geom::{Pose, Room, TxGrid};
+
+    /// A 3 × 3 grid with two receivers: 3⁹ ≈ 20k assignments.
+    fn tiny_model() -> SystemModel {
+        let room = Room::paper_simulation();
+        let grid = TxGrid::centered(&room, 3, 3, 1.0);
+        let rxs = vec![Pose::face_up(0.6, 0.6, 0.8), Pose::face_up(2.4, 2.4, 0.8)];
+        SystemModel::paper(ChannelMatrix::compute(
+            &grid,
+            &rxs,
+            15f64.to_radians(),
+            &RxOptics::paper(),
+        ))
+    }
+
+    #[test]
+    fn exhaustive_respects_the_budget() {
+        let m = tiny_model();
+        let budget = 0.2;
+        let res = exhaustive_binary(&m, budget, 1 << 20);
+        assert!(m.is_feasible(&res.allocation, budget));
+        assert_eq!(res.evaluated, 3u64.pow(9));
+    }
+
+    #[test]
+    fn continuous_solver_matches_or_beats_the_binary_ground_truth() {
+        // The continuous relaxation can only do at least as well as the
+        // best binary point (up to solver tolerance).
+        let m = tiny_model();
+        let budget = 0.3;
+        let truth = exhaustive_binary(&m, budget, 1 << 21);
+        let report = OptimalSolver::default().solve(&m, budget);
+        assert!(
+            report.objective >= truth.objective - 0.02 * truth.objective.abs(),
+            "solver {} far below binary truth {}",
+            report.objective,
+            truth.objective
+        );
+    }
+
+    #[test]
+    fn heuristic_lands_near_the_binary_ground_truth() {
+        let m = tiny_model();
+        let budget = 0.3;
+        let truth = exhaustive_binary(&m, budget, 1 << 21);
+        let h = heuristic_allocation(&m.channel, &m.led, budget, &HeuristicConfig::paper());
+        let h_bps = m.system_throughput(&h);
+        assert!(
+            h_bps > 0.85 * truth.system_bps,
+            "heuristic {} vs ground truth {}",
+            h_bps,
+            truth.system_bps
+        );
+    }
+
+    #[test]
+    fn tiny_budget_returns_the_best_single_tx() {
+        let m = tiny_model();
+        let full_power = m.dyn_resistance() * (m.led.max_swing / 2.0_f64).powi(2);
+        let res = exhaustive_binary(&m, full_power * 1.01, 1 << 21);
+        assert_eq!(res.allocation.active_tx_count(), 1);
+        assert!(res.system_bps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_search_space_panics() {
+        let m = tiny_model();
+        exhaustive_binary(&m, 0.3, 100);
+    }
+}

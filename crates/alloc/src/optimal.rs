@@ -1,0 +1,494 @@
+//! The optimal swing-allocation solver (the paper's §3.4 nonlinear program).
+//!
+//! The paper solves Eq. 5–7 with Matlab's `fmincon` (165 s for 36 TX / 4 RX);
+//! we implement a multi-start projected-gradient ascent with an analytic
+//! gradient. The feasible set is
+//!
+//! * element-wise `0 ≤ I_sw^{j,k}`,
+//! * per-TX total swing `Σ_k I_sw^{j,k} ≤ Isw,max` (Eq. 6),
+//! * total communication power `Σ_j r·(Σ_k I^{j,k}/2)² ≤ P̄` (Eq. 7),
+//!
+//! and the projection used after each ascent step is: clamp to the
+//! non-negative orthant, rescale over-limit rows onto the swing bound, then
+//! rescale everything onto the power ball (power is homogeneous of degree 2
+//! in the swings, so a global factor `√(P̄/P)` restores feasibility).
+//! Backtracking line search guarantees monotone ascent of the projected
+//! objective; multiple starts (heuristic warm starts across κ plus random
+//! perturbations) handle the non-convexity introduced by interference.
+
+use crate::heuristic::{heuristic_allocation, HeuristicConfig};
+use crate::model::{Allocation, SystemModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Solver configuration.
+///
+/// ```
+/// use vlc_alloc::{OptimalSolver, model::SystemModel};
+/// use vlc_channel::ChannelMatrix;
+///
+/// // A toy 2-TX / 2-RX system with clean, symmetric channels.
+/// let h = ChannelMatrix::from_gains(2, 2, vec![1e-6, 0.0, 0.0, 1e-6]);
+/// let model = SystemModel::paper(h);
+/// let report = OptimalSolver::quick().solve(&model, 0.15);
+/// assert!(model.is_feasible(&report.allocation, 0.15));
+/// assert!(report.objective.is_finite()); // both receivers served
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimalSolver {
+    /// Maximum gradient-ascent iterations per start.
+    pub max_iters: usize,
+    /// Number of random restarts (in addition to the warm starts).
+    pub random_starts: usize,
+    /// Convergence tolerance on the relative objective improvement.
+    pub tol: f64,
+    /// RNG seed for reproducible restarts.
+    pub seed: u64,
+}
+
+impl Default for OptimalSolver {
+    fn default() -> Self {
+        OptimalSolver {
+            max_iters: 400,
+            random_starts: 4,
+            tol: 1e-9,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Outcome of a solve: the best allocation plus diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveReport {
+    /// The best feasible allocation found.
+    pub allocation: Allocation,
+    /// Its objective value `Σ ln(B·log2(1+SINR))`.
+    pub objective: f64,
+    /// Its total communication power in watts.
+    pub power_w: f64,
+    /// Total ascent iterations across all starts.
+    pub iterations: usize,
+}
+
+impl OptimalSolver {
+    /// A faster, slightly less thorough configuration for sweeps.
+    pub fn quick() -> Self {
+        OptimalSolver {
+            max_iters: 150,
+            random_starts: 2,
+            tol: 1e-7,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Solves the program for `model` under a communication power budget.
+    ///
+    /// # Panics
+    /// Panics if `budget_w` is non-positive (a zero budget admits only the
+    /// all-zero allocation, whose objective is −∞).
+    pub fn solve(&self, model: &SystemModel, budget_w: f64) -> SolveReport {
+        assert!(budget_w > 0.0, "power budget must be positive");
+        let n_tx = model.n_tx();
+        let n_rx = model.n_rx();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut starts: Vec<Allocation> = Vec::new();
+        // Warm starts: the heuristic at several κ values, projected onto the
+        // budget (cheap and usually in the right basin).
+        for kappa in [1.0, 1.2, 1.3, 1.5] {
+            let cfg = HeuristicConfig {
+                allow_partial_last: true,
+                ..HeuristicConfig::with_kappa(kappa)
+            };
+            let a = heuristic_allocation(&model.channel, &model.led, budget_w, &cfg);
+            if model.sum_log_throughput(&a).is_finite() {
+                starts.push(a);
+            }
+        }
+        // Baseline start: every RX served by its best TX with an equal share
+        // of the budget (always gives a finite objective).
+        starts.push(self.equal_share_start(model, budget_w));
+        // Random perturbations of the equal-share start.
+        for _ in 0..self.random_starts {
+            let mut a = self.equal_share_start(model, budget_w);
+            for v in a.as_mut_slice() {
+                if *v > 0.0 {
+                    *v *= rng.gen_range(0.25..1.0);
+                }
+            }
+            // Give a few random extra TXs a nudge so restarts explore
+            // different activation patterns.
+            for _ in 0..n_tx / 4 {
+                let t = rng.gen_range(0..n_tx);
+                let r = rng.gen_range(0..n_rx);
+                let idx = t * n_rx + r;
+                a.as_mut_slice()[idx] += rng.gen_range(0.0..model.led.max_swing / 4.0);
+            }
+            self.project(model, &mut a, budget_w);
+            starts.push(a);
+        }
+
+        let mut best: Option<(Allocation, f64)> = None;
+        let mut total_iters = 0;
+        for mut start in starts {
+            self.project(model, &mut start, budget_w);
+            let (alloc, obj, iters) = self.ascend(model, start, budget_w);
+            total_iters += iters;
+            let better = match &best {
+                None => obj.is_finite(),
+                Some((_, b)) => obj > *b,
+            };
+            if better {
+                best = Some((alloc, obj));
+            }
+        }
+        let (allocation, objective) = best.expect("at least one start yields a finite objective");
+        let power_w = model.comm_power(&allocation);
+        SolveReport {
+            allocation,
+            objective,
+            power_w,
+            iterations: total_iters,
+        }
+    }
+
+    /// Equal-budget-share start: each RX's best TX gets the swing that its
+    /// share of the budget affords.
+    fn equal_share_start(&self, model: &SystemModel, budget_w: f64) -> Allocation {
+        let n_rx = model.n_rx();
+        let r = model.dyn_resistance();
+        let share = budget_w / n_rx as f64;
+        let swing = (2.0 * (share / r).sqrt()).min(model.led.max_swing);
+        let mut a = Allocation::zeros(model.n_tx(), n_rx);
+        for rx in 0..n_rx {
+            let tx = model.channel.best_tx_for(rx);
+            // Two RXs sharing a best TX split its swing range.
+            let existing = a.tx_total_swing(tx);
+            let room = (model.led.max_swing - existing).max(0.0);
+            a.set_swing(tx, rx, swing.min(room));
+        }
+        a
+    }
+
+    /// Projected gradient ascent with backtracking line search.
+    fn ascend(
+        &self,
+        model: &SystemModel,
+        mut x: Allocation,
+        budget_w: f64,
+    ) -> (Allocation, f64, usize) {
+        let mut f = model.sum_log_throughput(&x);
+        let mut step = 0.1 * model.led.max_swing;
+        let mut iters = 0;
+        for _ in 0..self.max_iters {
+            iters += 1;
+            let grad = self.gradient(model, &x);
+            let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if gnorm < 1e-14 {
+                break;
+            }
+            // Backtracking: try the step, halve until the projected point
+            // improves the objective.
+            let mut improved = false;
+            let mut local_step = step;
+            for _ in 0..30 {
+                let mut cand = x.clone();
+                for (v, g) in cand.as_mut_slice().iter_mut().zip(&grad) {
+                    *v += local_step * g / gnorm;
+                }
+                self.project(model, &mut cand, budget_w);
+                let fc = model.sum_log_throughput(&cand);
+                if fc > f {
+                    let rel = (fc - f) / f.abs().max(1e-12);
+                    x = cand;
+                    f = fc;
+                    improved = true;
+                    // Grow the step again after a success.
+                    step = (local_step * 1.5).min(model.led.max_swing);
+                    if rel < self.tol {
+                        return (x, f, iters);
+                    }
+                    break;
+                }
+                local_step *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+        }
+        (x, f, iters)
+    }
+
+    /// Analytic gradient of `Σ_i ln(B·log2(1+SINR_i))` with respect to each
+    /// swing `I_sw^{j,k}` (see module docs; verified against finite
+    /// differences in the tests).
+    fn gradient(&self, model: &SystemModel, x: &Allocation) -> Vec<f64> {
+        let n_tx = x.n_tx();
+        let n_rx = x.n_rx();
+        let r = model.dyn_resistance();
+        let scale = model.responsivity * model.led.wall_plug_efficiency * r;
+        let noise = model.noise.noise_power();
+        let ln2 = std::f64::consts::LN_2;
+
+        // stream_at[k][i]: amplitude of stream k measured at RX i.
+        let mut stream_at = vec![vec![0.0f64; n_rx]; n_rx];
+        for (k, row) in stream_at.iter_mut().enumerate() {
+            for (i, slot) in row.iter_mut().enumerate() {
+                let mut sum = 0.0;
+                for t in 0..n_tx {
+                    let half = x.swing(t, k) / 2.0;
+                    sum += model.channel.gain(t, i) * half * half;
+                }
+                *slot = scale * sum;
+            }
+        }
+        // Per-RX denominators, SINR, throughput factor.
+        let mut denom = vec![0.0f64; n_rx];
+        let mut sinr = vec![0.0f64; n_rx];
+        let mut tfac = vec![0.0f64; n_rx]; // 1/(T_i·(1+SINR_i)·ln2)
+        for i in 0..n_rx {
+            let interference: f64 = (0..n_rx)
+                .filter(|&k| k != i)
+                .map(|k| stream_at[k][i].powi(2))
+                .sum();
+            denom[i] = noise + interference;
+            let a = stream_at[i][i];
+            sinr[i] = a * a / denom[i];
+            let t = (1.0 + sinr[i]).log2();
+            tfac[i] = if t > 0.0 {
+                1.0 / (t * (1.0 + sinr[i]) * ln2)
+            } else {
+                0.0
+            };
+        }
+
+        let mut grad = vec![0.0f64; n_tx * n_rx];
+        for j in 0..n_tx {
+            for k in 0..n_rx {
+                let dq = x.swing(j, k) / 2.0; // d(half²)/dI = I/2
+                if dq == 0.0 {
+                    // Zero swing has zero analytic gradient; leave a small
+                    // ascent direction toward the serving gain so inactive
+                    // TXs can activate when beneficial. One-sided derivative
+                    // of the objective at 0 is 0, so use the curvature cue.
+                    let signal_cue =
+                        model.channel.gain(j, k) * tfac[k] * 2.0 * stream_at[k][k] / denom[k];
+                    let jam_cue: f64 = (0..n_rx)
+                        .filter(|&i| i != k)
+                        .map(|i| {
+                            model.channel.gain(j, i) * tfac[i] * 2.0 * sinr[i] * stream_at[k][i]
+                                / denom[i]
+                        })
+                        .sum();
+                    grad[j * n_rx + k] = 1e-3 * scale * (signal_cue - jam_cue).max(0.0);
+                    continue;
+                }
+                // Signal term at RX k.
+                let signal = model.channel.gain(j, k) * tfac[k] * 2.0 * stream_at[k][k] / denom[k];
+                // Interference terms at every other RX i.
+                let jam: f64 = (0..n_rx)
+                    .filter(|&i| i != k)
+                    .map(|i| {
+                        model.channel.gain(j, i) * tfac[i] * 2.0 * sinr[i] * stream_at[k][i]
+                            / denom[i]
+                    })
+                    .sum();
+                grad[j * n_rx + k] = dq * scale * (signal - jam);
+            }
+        }
+        grad
+    }
+
+    /// Projects an allocation onto the feasible set (see module docs).
+    fn project(&self, model: &SystemModel, x: &mut Allocation, budget_w: f64) {
+        let n_tx = x.n_tx();
+        let n_rx = x.n_rx();
+        let max_swing = model.led.max_swing;
+        // Non-negativity.
+        for v in x.as_mut_slice() {
+            if !v.is_finite() || *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        // Per-TX swing cap: scale over-limit rows.
+        for t in 0..n_tx {
+            let total = x.tx_total_swing(t);
+            if total > max_swing {
+                let f = max_swing / total;
+                for r in 0..n_rx {
+                    let v = x.swing(t, r) * f;
+                    x.set_swing(t, r, v);
+                }
+            }
+        }
+        // Power ball: power scales quadratically under a global factor.
+        let p = model.comm_power(x);
+        if p > budget_w {
+            let f = (budget_w / p).sqrt();
+            for v in x.as_mut_slice() {
+                *v *= f;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlc_channel::{ChannelMatrix, RxOptics};
+    use vlc_geom::{Pose, Room, TxGrid};
+    use vlc_led::power::dynamic_resistance;
+
+    fn scenario2_model() -> SystemModel {
+        let room = Room::paper_simulation();
+        let grid = TxGrid::paper(&room);
+        let rxs = vec![
+            Pose::face_up(0.92, 0.92, 0.8),
+            Pose::face_up(1.65, 0.65, 0.8),
+            Pose::face_up(0.72, 1.93, 0.8),
+            Pose::face_up(1.99, 1.69, 0.8),
+        ];
+        SystemModel::paper(ChannelMatrix::compute(
+            &grid,
+            &rxs,
+            15f64.to_radians(),
+            &RxOptics::paper(),
+        ))
+    }
+
+    fn two_rx_model() -> SystemModel {
+        let room = Room::paper_simulation();
+        let grid = TxGrid::centered(&room, 3, 3, 1.0);
+        let rxs = vec![Pose::face_up(0.5, 0.5, 0.8), Pose::face_up(2.5, 2.5, 0.8)];
+        SystemModel::paper(ChannelMatrix::compute(
+            &grid,
+            &rxs,
+            15f64.to_radians(),
+            &RxOptics::paper(),
+        ))
+    }
+
+    #[test]
+    fn solution_is_feasible() {
+        let m = scenario2_model();
+        let budget = 0.5;
+        let report = OptimalSolver::quick().solve(&m, budget);
+        assert!(m.is_feasible(&report.allocation, budget));
+        assert!(report.power_w <= budget + 1e-9);
+        assert!(report.objective.is_finite());
+    }
+
+    #[test]
+    fn every_rx_is_served() {
+        // Proportional fairness: a starved RX makes the objective −∞, so the
+        // optimum serves everyone.
+        let m = scenario2_model();
+        let report = OptimalSolver::quick().solve(&m, 0.5);
+        for (i, t) in m.throughput(&report.allocation).iter().enumerate() {
+            assert!(*t > 0.0, "RX{} starved", i + 1);
+        }
+    }
+
+    #[test]
+    fn objective_beats_heuristic() {
+        // The solver must be at least as good as its own warm start.
+        let m = scenario2_model();
+        let budget = 0.5;
+        let report = OptimalSolver::quick().solve(&m, budget);
+        let h = heuristic_allocation(
+            &m.channel,
+            &m.led,
+            budget,
+            &HeuristicConfig {
+                allow_partial_last: true,
+                ..HeuristicConfig::paper()
+            },
+        );
+        let obj_h = m.sum_log_throughput(&h);
+        assert!(
+            report.objective >= obj_h - 1e-9,
+            "solver {} < heuristic {}",
+            report.objective,
+            obj_h
+        );
+    }
+
+    #[test]
+    fn more_budget_never_hurts() {
+        let m = two_rx_model();
+        let solver = OptimalSolver::quick();
+        let lo = solver.solve(&m, 0.1);
+        let hi = solver.solve(&m, 0.4);
+        assert!(
+            hi.objective >= lo.objective - 1e-6,
+            "lo {} hi {}",
+            lo.objective,
+            hi.objective
+        );
+    }
+
+    #[test]
+    fn analytic_gradient_matches_finite_differences() {
+        let m = two_rx_model();
+        let solver = OptimalSolver::default();
+        // A strictly interior point with all streams active.
+        let n_tx = m.n_tx();
+        let n_rx = m.n_rx();
+        let mut x = Allocation::zeros(n_tx, n_rx);
+        for t in 0..n_tx {
+            for r in 0..n_rx {
+                x.set_swing(t, r, 0.05 + 0.01 * ((t * n_rx + r) % 7) as f64);
+            }
+        }
+        let grad = solver.gradient(&m, &x);
+        let eps = 1e-6;
+        for idx in [0usize, 3, 7, n_tx * n_rx - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (m.sum_log_throughput(&xp) - m.sum_log_throughput(&xm)) / (2.0 * eps);
+            let an = grad[idx];
+            let denom = fd.abs().max(an.abs()).max(1e-9);
+            assert!(
+                ((fd - an) / denom).abs() < 1e-3,
+                "idx {idx}: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn projection_restores_feasibility() {
+        let m = two_rx_model();
+        let solver = OptimalSolver::default();
+        let n = m.n_tx() * m.n_rx();
+        let mut x = Allocation::from_swings(m.n_tx(), m.n_rx(), vec![0.9; n]);
+        let budget = 0.2;
+        solver.project(&m, &mut x, budget);
+        assert!(m.is_feasible(&x, budget));
+    }
+
+    #[test]
+    fn solver_spends_most_of_a_small_budget() {
+        // With a budget below one full-swing TX, the optimum transmits at
+        // whatever swing the budget allows — power should not be left idle.
+        let m = two_rx_model();
+        let r = dynamic_resistance(&m.led);
+        let budget = 0.5 * r * (m.led.max_swing / 2.0).powi(2);
+        let report = OptimalSolver::quick().solve(&m, budget);
+        assert!(
+            report.power_w > 0.8 * budget,
+            "spent {} of {}",
+            report.power_w,
+            budget
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_panics() {
+        let m = two_rx_model();
+        OptimalSolver::quick().solve(&m, 0.0);
+    }
+}

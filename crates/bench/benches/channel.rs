@@ -1,0 +1,48 @@
+//! Criterion benches for the optical channel: LOS matrix assembly,
+//! illuminance maps, and the NLOS floor-bounce integral.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vlc_channel::lambertian::lambertian_order;
+use vlc_channel::nlos::{floor_bounce_gain, NlosConfig};
+use vlc_channel::{ChannelMatrix, IlluminanceMap, RxOptics};
+use vlc_geom::{AreaOfInterest, Pose, Room, TxGrid};
+
+fn bench_channel(c: &mut Criterion) {
+    let room = Room::paper_simulation();
+    let grid = TxGrid::paper(&room);
+    let optics = RxOptics::paper();
+    let semi = 15f64.to_radians();
+    let rxs = vec![
+        Pose::face_up(0.92, 0.92, 0.8),
+        Pose::face_up(1.65, 0.65, 0.8),
+        Pose::face_up(0.72, 1.93, 0.8),
+        Pose::face_up(1.99, 1.69, 0.8),
+    ];
+
+    let mut group = c.benchmark_group("channel");
+
+    group.bench_function("los_matrix_36x4", |b| {
+        b.iter(|| ChannelMatrix::compute(&grid, &rxs, semi, &optics))
+    });
+
+    let area = AreaOfInterest::paper(&room);
+    let poses = grid.poses();
+    group.bench_function("illuminance_map_0p1m", |b| {
+        b.iter(|| IlluminanceMap::compute(&poses, 153.3, semi, &area, 0.8, 0.1))
+    });
+
+    let m = lambertian_order(semi);
+    let tb = Room::paper_testbed();
+    let tb_grid = TxGrid::paper(&tb);
+    let leader = tb_grid.pose(1);
+    let follower = tb_grid.pose(2);
+    group.sample_size(10);
+    group.bench_function("nlos_floor_bounce_5cm", |b| {
+        b.iter(|| floor_bounce_gain(&leader, &follower, m, &optics, &tb, &NlosConfig::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches timing one reduced-scale run of each experiment
+//! driver — this is the per-table/figure regeneration harness. (The
+//! binaries under `src/bin/` run the full-scale versions and print the
+//! paper-comparable rows.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use densevlc::experiments::*;
+use vlc_led::LedParams;
+use vlc_testbed::Scenario;
+
+fn bench_experiments(c: &mut Criterion) {
+    let led = LedParams::cree_xte_paper();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+
+    group.bench_function("fig04_taylor_error", |b| {
+        b.iter(|| fig04_taylor_error::run(&led, 90))
+    });
+
+    group.bench_function("fig05_illuminance", |b| {
+        b.iter(|| fig05_illuminance::run(&led, 1))
+    });
+
+    group.bench_function("fig08_throughput_vs_power_3inst", |b| {
+        b.iter(|| fig08_throughput_vs_power::run(&[0.6, 1.2], 3, 8))
+    });
+
+    group.bench_function("fig09_swing_levels_4budgets", |b| {
+        b.iter(|| fig09_swing_levels::run(&[0.4, 0.8, 1.2, 1.6]))
+    });
+
+    group.bench_function("fig10_swing_cdf_3inst", |b| {
+        b.iter(|| fig10_swing_cdf::run(&[2, 4, 9, 14], 1.2, 3, 10))
+    });
+
+    group.bench_function("fig11_heuristic_verification_3inst", |b| {
+        b.iter(|| fig11_heuristic_verification::run(&[0.6, 1.2], 3, 1.2, 11))
+    });
+
+    group.bench_function("fig12_sync_delay", |b| {
+        b.iter(|| fig12_sync_delay::run(&[5e3, 20e3, 60e3], 2_001, 12))
+    });
+
+    group.bench_function("tab04_sync_error", |b| {
+        b.iter(|| tab04_sync_error::run(20, 4))
+    });
+
+    group.bench_function("tab05_iperf_10frames", |b| {
+        b.iter(|| tab05_iperf::run(10, 5))
+    });
+
+    for (name, s) in [
+        ("fig18_scenario1", Scenario::One),
+        ("fig19_scenario2", Scenario::Two),
+        ("fig20_scenario3", Scenario::Three),
+    ] {
+        group.bench_function(name, |b| b.iter(|| fig18_20_scenarios::run(s)));
+    }
+
+    group.bench_function("fig21_baselines", |b| {
+        b.iter(|| fig21_baselines::run(Scenario::Two))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches for the PHY hot paths: Reed–Solomon coding,
+//! Manchester coding, the analog front-end chain, and preamble correlation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vlc_phy::frontend::FrontEnd;
+use vlc_phy::interleave::Interleaver;
+use vlc_phy::manchester::{manchester_decode, manchester_encode};
+use vlc_phy::ofdm::OfdmModem;
+use vlc_phy::rs::ReedSolomon;
+use vlc_phy::waveform::{correlate_pattern, render, WaveformConfig};
+
+fn bench_phy(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    let rs = ReedSolomon::paper();
+    let data: Vec<u8> = (0..200).map(|_| rng.gen()).collect();
+    let clean = rs.encode(&data);
+
+    let mut group = c.benchmark_group("phy");
+
+    group.bench_function("rs_encode_200B", |b| b.iter(|| rs.encode(&data)));
+
+    group.bench_function("rs_decode_clean_200B", |b| {
+        b.iter(|| {
+            let mut block = clean.clone();
+            rs.decode(&mut block).expect("clean block")
+        })
+    });
+
+    let mut corrupted = clean.clone();
+    for i in 0..8 {
+        corrupted[i * 25] ^= 0x5a;
+    }
+    group.bench_function("rs_decode_8_errors_200B", |b| {
+        b.iter(|| {
+            let mut block = corrupted.clone();
+            rs.decode(&mut block).expect("correctable")
+        })
+    });
+
+    let chips = manchester_encode(&data);
+    group.bench_function("manchester_encode_200B", |b| {
+        b.iter(|| manchester_encode(&data))
+    });
+    group.bench_function("manchester_decode_200B", |b| {
+        b.iter(|| manchester_decode(&chips).expect("valid chips"))
+    });
+
+    let cfg = WaveformConfig::paper();
+    let preamble = manchester_encode(&[0xAA, 0xAA, 0xAA, 0x55]);
+    let wave = render(&preamble, &cfg, 1e-6, 37e-6, 2_000);
+    group.bench_function("preamble_correlation_2k_samples", |b| {
+        b.iter(|| correlate_pattern(&wave, &cfg, &preamble, 0, 500).expect("found"))
+    });
+
+    let modem = OfdmModem::vlc_default();
+    let ofdm_bits: Vec<bool> = (0..modem.bits_per_ofdm_symbol() * 8)
+        .map(|i| i % 3 == 0)
+        .collect();
+    let ofdm_wave = modem.modulate(&ofdm_bits).expect("whole symbols");
+    group.bench_function("ofdm_modulate_8_symbols", |b| {
+        b.iter(|| modem.modulate(&ofdm_bits).expect("whole symbols"))
+    });
+    group.bench_function("ofdm_demodulate_8_symbols", |b| {
+        b.iter(|| modem.demodulate(&ofdm_wave, 1.0).expect("aligned"))
+    });
+
+    let il = Interleaver::new(16);
+    let coded = rs.encode_payload(&data);
+    group.bench_function("interleave_432B_depth16", |b| {
+        b.iter(|| il.interleave(&coded))
+    });
+
+    let fe = FrontEnd::paper();
+    let raw = render(&chips, &cfg, 1e-6, 0.0, chips.len() * 10);
+    group.bench_function("frontend_chain_32k_samples", |b| {
+        b.iter(|| {
+            let mut s = raw.clone();
+            fe.process(&mut s);
+            s
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_phy);
+criterion_main!(benches);

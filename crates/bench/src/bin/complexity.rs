@@ -1,0 +1,8 @@
+//! Regenerates the §5 complexity comparison: optimal vs heuristic runtime.
+
+use densevlc::experiments::complexity;
+
+fn main() {
+    let c = complexity::run(1.2, 5, 20_000);
+    print!("{}", c.report());
+}

@@ -1,0 +1,9 @@
+//! Extension: mobility-tracking retention across receiver speeds and
+//! decision times.
+
+use densevlc::experiments::ext_adaptation;
+
+fn main() {
+    let ext = ext_adaptation::run(&[0.25, 0.5, 1.0, 2.0, 4.0], &[0.07, 0.5, 2.0, 10.0], 0xADA7);
+    print!("{}", ext.report());
+}

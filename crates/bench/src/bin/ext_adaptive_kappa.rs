@@ -1,0 +1,10 @@
+//! Extension (§9): adaptive per-TX κ vs uniform κ vs the optimum.
+
+use densevlc::experiments::ext_adaptive_kappa;
+
+fn main() {
+    let ext = ext_adaptive_kappa::run(&[0.3, 0.6, 0.9, 1.2, 1.8], 1.0);
+    print!("{}", ext.report());
+    let ext13 = ext_adaptive_kappa::run(&[0.3, 0.6, 0.9, 1.2, 1.8], 1.3);
+    print!("{}", ext13.report());
+}

@@ -1,0 +1,8 @@
+//! Extension: ARQ delivery/goodput across link attenuations.
+
+use densevlc::experiments::ext_arq;
+
+fn main() {
+    let ext = ext_arq::run_study(&[1.0, 0.2, 0.08, 0.05, 0.045, 0.04], 40, 0xA2);
+    print!("{}", ext.report());
+}

@@ -1,0 +1,12 @@
+//! Extension (§9): blockage sweep — where a standing person helps or hurts.
+
+use densevlc::experiments::ext_blockage;
+use vlc_testbed::Scenario;
+
+fn main() {
+    for s in [Scenario::One, Scenario::Two, Scenario::Three] {
+        println!("{}", s.label());
+        print!("{}", ext_blockage::run(s, 8, 1.2).report());
+        println!();
+    }
+}

@@ -1,0 +1,11 @@
+//! Extension: all beamspots transmitting concurrently, per-RX goodput/PER.
+
+use densevlc::experiments::ext_concurrent;
+use vlc_testbed::Scenario;
+
+fn main() {
+    for s in [Scenario::One, Scenario::Two, Scenario::Three] {
+        print!("{}", ext_concurrent::run(s, 1.2, 30, 0xC0C).report());
+        println!();
+    }
+}

@@ -1,0 +1,8 @@
+//! Extension (§9): TX density vs throughput and fairness.
+
+use densevlc::experiments::ext_density;
+
+fn main() {
+    let ext = ext_density::run(&[2, 3, 4, 5, 6, 8], 1.2);
+    print!("{}", ext.report());
+}

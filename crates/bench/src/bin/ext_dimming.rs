@@ -1,0 +1,8 @@
+//! Extension (§3.4): the bias/dimming operating point trade-off.
+
+use densevlc::experiments::ext_dimming;
+
+fn main() {
+    let ext = ext_dimming::run(&[0.10, 0.15, 0.225, 0.30, 0.45, 0.60, 0.75, 0.85], 0.6);
+    print!("{}", ext.report());
+}

@@ -1,0 +1,8 @@
+//! Extension (§9): OFDM headroom over the paper's Manchester-OOK PHY.
+
+use densevlc::experiments::ext_ofdm;
+
+fn main() {
+    let ext = ext_ofdm::run(100_000, 0xE0FD);
+    print!("{}", ext.report());
+}

@@ -1,0 +1,8 @@
+//! Extension (§9): receiver orientation sweep.
+
+use densevlc::experiments::ext_orientation;
+
+fn main() {
+    let ext = ext_orientation::run(&[0.0, 10.0, 20.0, 30.0, 45.0, 60.0], 1.2);
+    print!("{}", ext.report());
+}

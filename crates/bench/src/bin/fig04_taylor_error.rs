@@ -1,0 +1,9 @@
+//! Regenerates Fig. 4: Taylor power-model error vs swing level.
+
+use densevlc::experiments::fig04_taylor_error;
+use vlc_led::LedParams;
+
+fn main() {
+    let fig = fig04_taylor_error::run(&LedParams::cree_xte_paper(), 90);
+    print!("{}", fig.report());
+}

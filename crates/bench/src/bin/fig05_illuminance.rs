@@ -1,0 +1,9 @@
+//! Regenerates Fig. 5 / §8: illuminance distribution and ISO compliance.
+
+use densevlc::experiments::fig05_illuminance;
+use vlc_led::LedParams;
+
+fn main() {
+    let fig = fig05_illuminance::run(&LedParams::cree_xte_paper(), 0xF165);
+    print!("{}", fig.report());
+}

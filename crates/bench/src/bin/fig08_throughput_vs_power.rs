@@ -1,0 +1,16 @@
+//! Regenerates Fig. 8: optimal throughput vs power over random instances.
+//!
+//! Pass an instance count as the first argument (default 100, the paper's
+//! setting; expect a couple of minutes of solver time).
+
+use densevlc::experiments::fig08_throughput_vs_power;
+use vlc_bench::budget_sweep;
+
+fn main() {
+    let instances: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let fig = fig08_throughput_vs_power::run(&budget_sweep(), instances, 0xF168);
+    print!("{}", fig.report());
+}

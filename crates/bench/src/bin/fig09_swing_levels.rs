@@ -1,0 +1,9 @@
+//! Regenerates Fig. 9: optimal swing levels vs communication power.
+
+use densevlc::experiments::fig09_swing_levels;
+use vlc_bench::budget_sweep;
+
+fn main() {
+    let fig = fig09_swing_levels::run(&budget_sweep());
+    print!("{}", fig.report());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 10: empirical CDFs of optimal swings toward RX2.
+
+use densevlc::experiments::fig10_swing_cdf;
+
+fn main() {
+    let instances: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    // The paper's representative TXs: TX3, TX5, TX10, TX15 (zero-based).
+    let fig = fig10_swing_cdf::run(&[2, 4, 9, 14], 1.2, instances, 0xF1610);
+    print!("{}", fig.report());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 11: heuristic vs optimal across κ.
+
+use densevlc::experiments::fig11_heuristic_verification;
+use vlc_bench::budget_sweep;
+
+fn main() {
+    let instances: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let fig = fig11_heuristic_verification::run(&budget_sweep(), instances, 1.2, 0xF1611);
+    print!("{}", fig.report());
+}

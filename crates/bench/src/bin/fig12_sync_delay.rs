@@ -1,0 +1,9 @@
+//! Regenerates Fig. 12: synchronization delay vs symbol rate.
+
+use densevlc::experiments::fig12_sync_delay;
+use vlc_bench::rate_sweep;
+
+fn main() {
+    let fig = fig12_sync_delay::run(&rate_sweep(), 20_001, 0xF1612);
+    print!("{}", fig.report());
+}

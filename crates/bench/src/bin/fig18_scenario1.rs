@@ -1,0 +1,9 @@
+//! Regenerates Fig. 18: heuristic evaluation in Scenario 1.
+
+use densevlc::experiments::fig18_20_scenarios;
+use vlc_testbed::Scenario;
+
+fn main() {
+    let res = fig18_20_scenarios::run(Scenario::One);
+    print!("{}", res.report());
+}

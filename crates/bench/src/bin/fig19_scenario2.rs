@@ -1,0 +1,9 @@
+//! Regenerates Fig. 19: heuristic evaluation in Scenario 2.
+
+use densevlc::experiments::fig18_20_scenarios;
+use vlc_testbed::Scenario;
+
+fn main() {
+    let res = fig18_20_scenarios::run(Scenario::Two);
+    print!("{}", res.report());
+}

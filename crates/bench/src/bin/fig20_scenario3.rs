@@ -1,0 +1,9 @@
+//! Regenerates Fig. 20: heuristic evaluation in Scenario 3.
+
+use densevlc::experiments::fig18_20_scenarios;
+use vlc_testbed::Scenario;
+
+fn main() {
+    let res = fig18_20_scenarios::run(Scenario::Three);
+    print!("{}", res.report());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 21: DenseVLC vs SISO and D-MISO power efficiency.
+
+use densevlc::experiments::fig21_baselines;
+use vlc_testbed::Scenario;
+
+fn main() {
+    let fig = fig21_baselines::run(Scenario::Two);
+    print!("{}", fig.report());
+}

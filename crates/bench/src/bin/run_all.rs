@@ -1,0 +1,54 @@
+//! Runs every experiment at a reduced scale and prints the full report —
+//! a one-shot reproduction of the paper's evaluation section.
+
+use densevlc::experiments::*;
+use vlc_bench::{budget_sweep, rate_sweep};
+use vlc_led::LedParams;
+use vlc_testbed::Scenario;
+
+fn main() {
+    let led = LedParams::cree_xte_paper();
+    println!("==== DenseVLC (CoNEXT '18) — full evaluation reproduction ====\n");
+    println!("{}", fig04_taylor_error::run(&led, 90).report());
+    println!("{}", fig05_illuminance::run(&led, 1).report());
+    println!(
+        "{}",
+        fig08_throughput_vs_power::run(&budget_sweep(), 20, 8).report()
+    );
+    println!("{}", fig09_swing_levels::run(&budget_sweep()).report());
+    println!(
+        "{}",
+        fig10_swing_cdf::run(&[2, 4, 9, 14], 1.2, 20, 10).report()
+    );
+    println!(
+        "{}",
+        fig11_heuristic_verification::run(&budget_sweep(), 20, 1.2, 11).report()
+    );
+    println!(
+        "{}",
+        fig12_sync_delay::run(&rate_sweep(), 10_001, 12).report()
+    );
+    println!("{}", tab04_sync_error::run(100, 4).report());
+    println!("{}", tab05_iperf::run(50, 5).report());
+    for s in [Scenario::One, Scenario::Two, Scenario::Three] {
+        println!("{}", fig18_20_scenarios::run(s).report());
+    }
+    println!("{}", fig21_baselines::run(Scenario::Two).report());
+    println!("{}", complexity::run(1.2, 3, 5_000).report());
+    println!("---- extensions (paper §9 future work) ----\n");
+    println!("{}", ext_adaptive_kappa::run(&[0.6, 1.2], 1.0).report());
+    println!("{}", ext_density::run(&[3, 4, 6], 1.2).report());
+    println!("{}", ext_orientation::run(&[0.0, 20.0, 45.0], 1.2).report());
+    println!("{}", ext_ofdm::run(50_000, 0xE0FD).report());
+    println!(
+        "{}",
+        ext_dimming::run(&[0.15, 0.3, 0.45, 0.6, 0.75], 0.6).report()
+    );
+    println!("{}", ext_blockage::run(Scenario::Three, 6, 1.2).report());
+    println!(
+        "{}",
+        ext_adaptation::run(&[0.5, 2.0], &[0.07, 2.0], 0xADA7).report()
+    );
+    println!("{}", ext_concurrent::run(Scenario::Two, 1.2, 15, 0xC0C).report());
+    println!("{}", ext_arq::run_study(&[1.0, 0.05, 0.04], 20, 0xA2).report());
+}

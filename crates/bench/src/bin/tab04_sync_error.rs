@@ -1,0 +1,8 @@
+//! Regenerates Table 4: median synchronization error per scheme.
+
+use densevlc::experiments::tab04_sync_error;
+
+fn main() {
+    let tab = tab04_sync_error::run(200, 0x7AB4);
+    print!("{}", tab.report());
+}

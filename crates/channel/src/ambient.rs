@@ -1,0 +1,122 @@
+//! Ambient light and its shot noise at the receivers.
+//!
+//! Every LED in the grid shines continuously at its illumination bias; that
+//! light lands on each photodiode as a DC photocurrent, contributing shot
+//! noise `2·q·I_dc` on top of the thermal floor (the AC coupling removes
+//! the DC itself but not its shot noise). The paper folds everything into
+//! one `N0`; this module derives the DC term explicitly so deployments can
+//! study how illumination level couples into communication noise — e.g.
+//! dimming scenarios.
+
+use crate::lambertian::{lambertian_order, los_gain, RxOptics};
+use crate::noise::NoiseParams;
+use vlc_geom::Pose;
+
+/// The DC photocurrent at a receiver from the bias illumination of every
+/// luminaire, in amperes: `R · Σ_j H_j · P_opt,bias`.
+///
+/// `optical_bias_w` is each LED's optical output at the bias current
+/// (`η · Pled(Ib)` for the electrical model, or a measured value).
+pub fn ambient_dc_current(
+    luminaires: &[Pose],
+    rx: &Pose,
+    half_power_semi_angle: f64,
+    optics: &RxOptics,
+    optical_bias_w: f64,
+) -> f64 {
+    assert!(
+        optical_bias_w >= 0.0,
+        "optical bias power must be non-negative"
+    );
+    let m = lambertian_order(half_power_semi_angle);
+    let total_gain: f64 = luminaires
+        .iter()
+        .map(|lum| los_gain(lum, rx, m, optics))
+        .sum();
+    optics.responsivity * total_gain * optical_bias_w
+}
+
+/// Noise parameters with the grid's ambient shot noise folded in for one
+/// receiver position.
+pub fn noise_with_ambient(
+    base: &NoiseParams,
+    luminaires: &[Pose],
+    rx: &Pose,
+    half_power_semi_angle: f64,
+    optics: &RxOptics,
+    optical_bias_w: f64,
+) -> NoiseParams {
+    let i_dc = ambient_dc_current(
+        luminaires,
+        rx,
+        half_power_semi_angle,
+        optics,
+        optical_bias_w,
+    );
+    base.with_shot_noise(i_dc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlc_geom::{Room, TxGrid};
+
+    fn setup() -> (Vec<Pose>, Pose, RxOptics) {
+        let room = Room::paper_simulation();
+        let grid = TxGrid::paper(&room);
+        (
+            grid.poses(),
+            Pose::face_up(1.5, 1.5, 0.8),
+            RxOptics::paper(),
+        )
+    }
+
+    #[test]
+    fn ambient_current_is_positive_under_the_grid() {
+        let (lums, rx, optics) = setup();
+        let i = ambient_dc_current(&lums, &rx, 15f64.to_radians(), &optics, 0.5);
+        assert!(i > 0.0, "no ambient current under a lit grid");
+        // Physical scale: µA-level for a mm² photodiode under office light.
+        assert!(i < 1e-3, "implausibly large DC current {i}");
+    }
+
+    #[test]
+    fn ambient_scales_linearly_with_bias_power() {
+        let (lums, rx, optics) = setup();
+        let i1 = ambient_dc_current(&lums, &rx, 15f64.to_radians(), &optics, 0.25);
+        let i2 = ambient_dc_current(&lums, &rx, 15f64.to_radians(), &optics, 0.50);
+        assert!((i2 / i1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shot_noise_raises_the_floor_only_slightly_at_paper_scale() {
+        // For the paper's geometry the ambient shot noise is a small
+        // correction to the thermal N0 — consistent with the paper folding
+        // it into one constant.
+        let (lums, rx, optics) = setup();
+        let base = NoiseParams::paper();
+        let noisy = noise_with_ambient(&base, &lums, &rx, 15f64.to_radians(), &optics, 0.5);
+        assert!(noisy.n0_a2_per_hz > base.n0_a2_per_hz);
+        assert!(
+            noisy.n0_a2_per_hz < 1.5 * base.n0_a2_per_hz,
+            "shot noise dominates unexpectedly: {} vs {}",
+            noisy.n0_a2_per_hz,
+            base.n0_a2_per_hz
+        );
+    }
+
+    #[test]
+    fn dark_room_adds_no_shot_noise() {
+        let (_, rx, optics) = setup();
+        let base = NoiseParams::paper();
+        let same = noise_with_ambient(&base, &[], &rx, 15f64.to_radians(), &optics, 0.5);
+        assert_eq!(same.n0_a2_per_hz, base.n0_a2_per_hz);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bias_power_panics() {
+        let (lums, rx, optics) = setup();
+        ambient_dc_current(&lums, &rx, 15f64.to_radians(), &optics, -1.0);
+    }
+}

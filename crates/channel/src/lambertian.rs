@@ -1,0 +1,218 @@
+//! The line-of-sight Lambertian path-loss model (paper Eq. 2).
+
+use serde::{Deserialize, Serialize};
+use vlc_geom::Pose;
+
+/// Receiver optics: photodiode geometry, field of view, and concentrator.
+///
+/// Defaults match the paper's Table 1: Hamamatsu S5971-class photodiode with
+/// a 1.1 mm² collection area, a 90° field of view, responsivity 0.40 A/W,
+/// and no optical concentrator (refractive index 1 → unit gain at a 90°
+/// FOV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RxOptics {
+    /// Photodiode collection area `Apd` in m².
+    pub collection_area_m2: f64,
+    /// Field of view half-angle `Ψc` in radians; light beyond it is ignored.
+    pub fov_half_angle: f64,
+    /// Refractive index of the optical concentrator (1.0 = none).
+    pub concentrator_index: f64,
+    /// Optical filter transmission in `[0, 1]`.
+    pub filter_gain: f64,
+    /// Photodiode responsivity `R` in A/W.
+    pub responsivity: f64,
+}
+
+impl RxOptics {
+    /// The paper's receiver front-end optics (Table 1).
+    pub fn paper() -> Self {
+        RxOptics {
+            collection_area_m2: 1.1e-6,
+            fov_half_angle: std::f64::consts::FRAC_PI_2,
+            concentrator_index: 1.0,
+            filter_gain: 1.0,
+            responsivity: 0.40,
+        }
+    }
+
+    /// Concentrator-plus-filter gain `g(ψ)` for an incidence angle `ψ`:
+    /// `n² / sin²(Ψc)` inside the FOV, zero outside.
+    pub fn gain(&self, incidence: f64) -> f64 {
+        if incidence <= self.fov_half_angle {
+            let n = self.concentrator_index;
+            self.filter_gain * n * n / self.fov_half_angle.sin().powi(2)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Default for RxOptics {
+    fn default() -> Self {
+        RxOptics::paper()
+    }
+}
+
+/// The Lambertian order `m = −ln 2 / ln(cos φ½)` for a half-power semi-angle
+/// `φ½` in radians. The paper's lens-equipped CREE XT-E has φ½ = 15°,
+/// giving `m ≈ 20`.
+pub fn lambertian_order(half_power_semi_angle: f64) -> f64 {
+    assert!(
+        half_power_semi_angle > 0.0 && half_power_semi_angle < std::f64::consts::FRAC_PI_2,
+        "half-power semi-angle must be in (0, π/2), got {half_power_semi_angle}"
+    );
+    -std::f64::consts::LN_2 / half_power_semi_angle.cos().ln()
+}
+
+/// Line-of-sight optical path loss `H` between a transmitter and receiver
+/// (paper Eq. 2):
+///
+/// `H = (m+1)·Apd / (2π·d²) · cosᵐ(φ) · g(ψ) · cos(ψ)` for `0 ≤ ψ ≤ Ψc`,
+/// zero otherwise (and zero when the target is behind the emitter plane).
+///
+/// `m` is the Lambertian order (see [`lambertian_order`]); `φ` the
+/// irradiation angle at the TX; `ψ` the incidence angle at the RX; `d` the
+/// TX–RX distance.
+pub fn los_gain(tx: &Pose, rx: &Pose, lambertian_m: f64, optics: &RxOptics) -> f64 {
+    let d2 = (rx.position - tx.position).norm_sq();
+    if d2 < 1e-12 {
+        return 0.0; // coincident devices: undefined geometry, no coupling
+    }
+    let cos_phi = tx.cos_irradiation(rx.position);
+    let cos_psi = rx.cos_incidence(tx.position);
+    if cos_phi <= 0.0 || cos_psi <= 0.0 {
+        return 0.0;
+    }
+    let psi = cos_psi.clamp(-1.0, 1.0).acos();
+    let g = optics.gain(psi);
+    if g == 0.0 {
+        return 0.0;
+    }
+    (lambertian_m + 1.0) * optics.collection_area_m2 / (2.0 * std::f64::consts::PI * d2)
+        * cos_phi.powf(lambertian_m)
+        * g
+        * cos_psi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlc_geom::Vec3;
+
+    fn m15() -> f64 {
+        lambertian_order(15f64.to_radians())
+    }
+
+    #[test]
+    fn order_for_15_degrees_is_about_20() {
+        let m = m15();
+        assert!((m - 20.0).abs() < 0.2, "m = {m}");
+    }
+
+    #[test]
+    fn order_for_60_degrees_is_1() {
+        // cos 60° = 0.5 → m = ln2/ln2 = 1 (the classic Lambertian source).
+        let m = lambertian_order(60f64.to_radians());
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_axis_gain_matches_hand_computation() {
+        // TX at 2.8 m directly above an upward RX at 0.8 m → d = 2 m,
+        // φ = ψ = 0: H = (m+1)·Apd / (2π·4).
+        let tx = Pose::ceiling(1.0, 1.0, 2.8);
+        let rx = Pose::face_up(1.0, 1.0, 0.8);
+        let optics = RxOptics::paper();
+        let m = m15();
+        let expected = (m + 1.0) * 1.1e-6 / (2.0 * std::f64::consts::PI * 4.0);
+        let h = los_gain(&tx, &rx, m, &optics);
+        assert!(
+            (h - expected).abs() / expected < 1e-12,
+            "h = {h}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn gain_decays_off_axis_faster_than_cosine() {
+        let optics = RxOptics::paper();
+        let m = m15();
+        let tx = Pose::ceiling(0.0, 0.0, 2.0);
+        let on_axis = los_gain(&tx, &Pose::face_up(0.0, 0.0, 0.0), m, &optics);
+        let off_axis = los_gain(&tx, &Pose::face_up(0.5, 0.0, 0.0), m, &optics);
+        // 0.5 m offset at 2 m drop ≈ 14° — near the half-power angle, the
+        // narrow-beam gain should have fallen well below cos(14°).
+        assert!(off_axis < on_axis * 0.6);
+        assert!(off_axis > 0.0);
+    }
+
+    #[test]
+    fn gain_is_zero_beyond_fov() {
+        let m = m15();
+        // RX tilted 90°: light from straight above arrives at ψ = 90° > Ψc
+        // for a 60° FOV receiver.
+        let narrow = RxOptics {
+            fov_half_angle: 60f64.to_radians(),
+            ..RxOptics::paper()
+        };
+        let tx = Pose::ceiling(0.0, 0.0, 2.0);
+        let rx = Pose::new(Vec3::new(0.0, 0.0, 0.0), Vec3::X);
+        assert_eq!(los_gain(&tx, &rx, m, &narrow), 0.0);
+    }
+
+    #[test]
+    fn gain_is_zero_behind_emitter() {
+        let m = m15();
+        let tx = Pose::ceiling(0.0, 0.0, 2.0);
+        let rx_above = Pose::face_up(0.0, 0.0, 2.5); // above the ceiling TX
+        assert_eq!(los_gain(&tx, &rx_above, m, &RxOptics::paper()), 0.0);
+    }
+
+    #[test]
+    fn gain_is_zero_for_coincident_devices() {
+        let m = m15();
+        let tx = Pose::ceiling(0.0, 0.0, 2.0);
+        let rx = Pose::face_up(0.0, 0.0, 2.0);
+        assert_eq!(los_gain(&tx, &rx, m, &RxOptics::paper()), 0.0);
+    }
+
+    #[test]
+    fn gain_scales_inverse_square_with_distance() {
+        let m = m15();
+        let optics = RxOptics::paper();
+        let rx = Pose::face_up(0.0, 0.0, 0.0);
+        let h1 = los_gain(&Pose::ceiling(0.0, 0.0, 1.0), &rx, m, &optics);
+        let h2 = los_gain(&Pose::ceiling(0.0, 0.0, 2.0), &rx, m, &optics);
+        assert!((h1 / h2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentrator_boosts_gain_quadratically() {
+        let m = m15();
+        let plain = RxOptics::paper();
+        let lensed = RxOptics {
+            concentrator_index: 1.5,
+            ..plain
+        };
+        let tx = Pose::ceiling(0.0, 0.0, 2.0);
+        let rx = Pose::face_up(0.0, 0.0, 0.0);
+        let ratio = los_gain(&tx, &rx, m, &lensed) / los_gain(&tx, &rx, m, &plain);
+        assert!((ratio - 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-power semi-angle")]
+    fn zero_semi_angle_panics() {
+        lambertian_order(0.0);
+    }
+
+    #[test]
+    fn paper_geometry_magnitude_sanity() {
+        // For the paper's setup the strongest link (TX directly above an RX
+        // at table height) should be ~1e-7..1e-6 — the scale that makes the
+        // SINR numbers in §4 come out in the Mbit/s range.
+        let tx = Pose::ceiling(0.75, 2.25, 2.8);
+        let rx = Pose::face_up(0.75, 2.25, 0.8);
+        let h = los_gain(&tx, &rx, m15(), &RxOptics::paper());
+        assert!(h > 1e-7 && h < 1e-5, "h = {h}");
+    }
+}

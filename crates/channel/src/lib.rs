@@ -1,0 +1,39 @@
+//! Optical channel models for the DenseVLC reproduction.
+//!
+//! Everything DenseVLC decides — which LEDs serve which receiver, at what
+//! swing — flows from the optical channel between each TX/RX pair. This
+//! crate provides:
+//!
+//! * [`lambertian`] — the line-of-sight Lambertian path loss of paper Eq. 2,
+//!   parameterized by the LED's half-power semi-angle and the receiver's
+//!   optics ([`RxOptics`]).
+//! * [`photometry`] — luminous intensity and illuminance (lux) computations
+//!   that reproduce the paper's Fig. 5 illuminance map and the ISO 8995-1
+//!   uniformity checks.
+//! * [`nlos`] — single-bounce (floor-reflection) channel gains, the physical
+//!   substrate of DenseVLC's over-the-air synchronization (paper §6.2).
+//! * [`noise`] — receiver noise (single-sided spectral density `N0`, AWGN
+//!   sampling via an in-tree Box–Muller transform, shot noise).
+//! * [`blockage`] — cylindrical occluders for the blockage study the paper
+//!   sketches in §9.
+//! * [`matrix`] — the N × M channel matrix `H` assembled from a TX grid and
+//!   receiver poses, the direct input of the allocation algorithms.
+//! * [`ambient`] — the DC photocurrent from the grid's bias illumination
+//!   and the shot noise it contributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ambient;
+pub mod blockage;
+pub mod lambertian;
+pub mod matrix;
+pub mod nlos;
+pub mod noise;
+pub mod photometry;
+
+pub use blockage::CylinderBlocker;
+pub use lambertian::{lambertian_order, los_gain, RxOptics};
+pub use matrix::ChannelMatrix;
+pub use noise::{AwgnChannel, NoiseParams};
+pub use photometry::{IlluminanceMap, IlluminanceStats};

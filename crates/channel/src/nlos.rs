@@ -1,0 +1,390 @@
+//! Non-line-of-sight (single-bounce) channel gains.
+//!
+//! DenseVLC's synchronization (paper §6.2) works by having a leading TX
+//! flash a pilot that reflects off the floor and is picked up by the
+//! downward-facing photodiodes of nearby follower TXs. Two ceiling TXs have
+//! no line of sight to each other (both face down), so the coupling is the
+//! classic single-bounce integral: the floor is tiled into differential
+//! Lambertian reflectors, each receiving light from the source and
+//! re-emitting it diffusely (order-1 Lambertian) toward the destination's
+//! photodiode.
+//!
+//! The module also integrates *wall* bounces ([`wall_bounce_gain`]) — the
+//! only first-order NLOS contribution an upward-facing data receiver can
+//! see — to quantify what the paper's LOS-only SINR model (Eq. 12)
+//! neglects (well under 1 % for this geometry).
+
+use crate::lambertian::RxOptics;
+use serde::{Deserialize, Serialize};
+use vlc_geom::{Pose, Room, Vec3};
+
+/// Configuration for the single-bounce integration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NlosConfig {
+    /// Floor-patch edge length in meters for the numerical integration.
+    /// 5 cm keeps the quadrature error well under 1 % for room-scale
+    /// geometries while remaining fast.
+    pub patch_size_m: f64,
+}
+
+impl Default for NlosConfig {
+    fn default() -> Self {
+        NlosConfig { patch_size_m: 0.05 }
+    }
+}
+
+/// Single-bounce (floor) path gain from a ceiling transmitter to a
+/// (typically also ceiling-mounted, downward-facing) receiver photodiode.
+///
+/// For each floor patch `dA` at point `w`:
+///
+/// `dH = (m+1)/(2π·d1²) · cosᵐ(φ1)·cos(ψ1) · ρ · Apd·g(ψ2)/(π·d2²) ·
+///       cos(φ2)·cos(ψ2) · dA`
+///
+/// where `d1, φ1, ψ1` describe the source→patch leg (ψ1 against the floor
+/// normal), `ρ` is the floor reflectance, and `d2, φ2, ψ2` the
+/// patch→receiver leg with the patch re-emitting as an order-1 Lambertian.
+pub fn floor_bounce_gain(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+) -> f64 {
+    assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
+    let da = cfg.patch_size_m * cfg.patch_size_m;
+    let nx = (room.width / cfg.patch_size_m).ceil() as usize;
+    let ny = (room.depth / cfg.patch_size_m).ceil() as usize;
+    let mut total = 0.0;
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let w = Vec3::new(
+                (ix as f64 + 0.5) * cfg.patch_size_m,
+                (iy as f64 + 0.5) * cfg.patch_size_m,
+                0.0,
+            );
+            total += patch_contribution(tx, rx, w, lambertian_m, optics, room.floor_reflectance);
+        }
+    }
+    total * da
+}
+
+/// Single-bounce *wall* path gain from a transmitter to a receiver: the
+/// sum over all four walls of the room, each tiled into diffuse Lambertian
+/// reflectors with the same reflectance as the floor.
+///
+/// For an upward-facing data receiver the floor bounce is invisible (light
+/// would arrive from behind the detector plane), so walls are the only
+/// first-order NLOS contribution to the *data* channel. The tests quantify
+/// it at well under a percent of the LOS gain for the paper's narrow-beam
+/// geometry — the validation behind Eq. 12's LOS-only SINR.
+pub fn wall_bounce_gain(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+) -> f64 {
+    assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
+    let da = cfg.patch_size_m * cfg.patch_size_m;
+    let mut total = 0.0;
+    // Each wall: (origin, horizontal axis, extent along it, inward normal).
+    let walls: [(Vec3, Vec3, f64, Vec3); 4] = [
+        (Vec3::ZERO, Vec3::X, room.width, Vec3::Y), // y = 0
+        (
+            Vec3::new(0.0, room.depth, 0.0),
+            Vec3::X,
+            room.width,
+            -Vec3::Y,
+        ), // y = depth
+        (Vec3::ZERO, Vec3::Y, room.depth, Vec3::X), // x = 0
+        (
+            Vec3::new(room.width, 0.0, 0.0),
+            Vec3::Y,
+            room.depth,
+            -Vec3::X,
+        ), // x = width
+    ];
+    for (origin, axis, extent, normal) in walls {
+        let nu = (extent / cfg.patch_size_m).ceil() as usize;
+        let nz = (room.height / cfg.patch_size_m).ceil() as usize;
+        for iu in 0..nu {
+            for iz in 0..nz {
+                let w = origin
+                    + axis * ((iu as f64 + 0.5) * cfg.patch_size_m)
+                    + Vec3::Z * ((iz as f64 + 0.5) * cfg.patch_size_m);
+                total += surface_patch_contribution(
+                    tx,
+                    rx,
+                    w,
+                    normal,
+                    lambertian_m,
+                    optics,
+                    room.floor_reflectance,
+                );
+            }
+        }
+    }
+    total * da
+}
+
+/// Contribution density (per m² of floor) of one patch center `w`.
+fn patch_contribution(
+    tx: &Pose,
+    rx: &Pose,
+    w: Vec3,
+    m: f64,
+    optics: &RxOptics,
+    reflectance: f64,
+) -> f64 {
+    // Leg 1: TX → patch.
+    let v1 = w - tx.position;
+    let d1_sq = v1.norm_sq();
+    if d1_sq < 1e-9 {
+        return 0.0;
+    }
+    let cos_phi1 = tx.cos_irradiation(w);
+    let cos_psi1 = (-v1.normalized()).dot(Vec3::UP); // against floor normal
+    if cos_phi1 <= 0.0 || cos_psi1 <= 0.0 {
+        return 0.0;
+    }
+    // Leg 2: patch → RX photodiode.
+    let v2 = rx.position - w;
+    let d2_sq = v2.norm_sq();
+    if d2_sq < 1e-9 {
+        return 0.0;
+    }
+    let cos_phi2 = v2.normalized().dot(Vec3::UP); // patch emits upward, order 1
+    let cos_psi2 = rx.cos_incidence(w);
+    if cos_phi2 <= 0.0 || cos_psi2 <= 0.0 {
+        return 0.0;
+    }
+    let psi2 = cos_psi2.clamp(-1.0, 1.0).acos();
+    let g = optics.gain(psi2);
+    if g == 0.0 {
+        return 0.0;
+    }
+    let first_leg = (m + 1.0) / (2.0 * std::f64::consts::PI * d1_sq) * cos_phi1.powf(m) * cos_psi1;
+    let second_leg =
+        optics.collection_area_m2 * g / (std::f64::consts::PI * d2_sq) * cos_phi2 * cos_psi2;
+    first_leg * reflectance * second_leg
+}
+
+/// Contribution density of one diffuse patch with an arbitrary surface
+/// normal (used for the wall integration; the floor path keeps its
+/// specialized routine above).
+fn surface_patch_contribution(
+    tx: &Pose,
+    rx: &Pose,
+    w: Vec3,
+    normal: Vec3,
+    m: f64,
+    optics: &RxOptics,
+    reflectance: f64,
+) -> f64 {
+    // Leg 1: TX → patch.
+    let v1 = w - tx.position;
+    let d1_sq = v1.norm_sq();
+    if d1_sq < 1e-9 {
+        return 0.0;
+    }
+    let cos_phi1 = tx.cos_irradiation(w);
+    let cos_psi1 = (-v1.normalized()).dot(normal);
+    if cos_phi1 <= 0.0 || cos_psi1 <= 0.0 {
+        return 0.0;
+    }
+    // Leg 2: patch → RX.
+    let v2 = rx.position - w;
+    let d2_sq = v2.norm_sq();
+    if d2_sq < 1e-9 {
+        return 0.0;
+    }
+    let cos_phi2 = v2.normalized().dot(normal);
+    let cos_psi2 = rx.cos_incidence(w);
+    if cos_phi2 <= 0.0 || cos_psi2 <= 0.0 {
+        return 0.0;
+    }
+    let psi2 = cos_psi2.clamp(-1.0, 1.0).acos();
+    let g = optics.gain(psi2);
+    if g == 0.0 {
+        return 0.0;
+    }
+    let first_leg = (m + 1.0) / (2.0 * std::f64::consts::PI * d1_sq) * cos_phi1.powf(m) * cos_psi1;
+    let second_leg =
+        optics.collection_area_m2 * g / (std::f64::consts::PI * d2_sq) * cos_phi2 * cos_psi2;
+    first_leg * reflectance * second_leg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lambertian::{lambertian_order, los_gain};
+    use vlc_geom::TxGrid;
+
+    fn setup() -> (Room, f64, RxOptics) {
+        (
+            Room::paper_testbed(),
+            lambertian_order(15f64.to_radians()),
+            RxOptics::paper(),
+        )
+    }
+
+    #[test]
+    fn neighbor_txs_have_positive_nlos_coupling() {
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let tx = grid.pose(1); // TX2
+        let rx = grid.pose(2); // TX3, 0.5 m away, photodiode facing down
+        let h = floor_bounce_gain(&tx, &rx, m, &optics, &room, &NlosConfig::default());
+        assert!(h > 0.0, "h = {h}");
+    }
+
+    #[test]
+    fn nlos_is_orders_weaker_than_los() {
+        // The reflected pilot is "a very weak signal" (paper §7.1) — it
+        // should be far below a direct TX→RX link.
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let tx = grid.pose(1);
+        let neighbor = grid.pose(2);
+        let floor_rx = Pose::face_up(neighbor.position.x, neighbor.position.y - 0.25, 0.0);
+        let h_nlos = floor_bounce_gain(&tx, &neighbor, m, &optics, &room, &NlosConfig::default());
+        let h_los = los_gain(&tx, &floor_rx, m, &optics);
+        assert!(h_nlos < h_los / 10.0, "nlos {h_nlos} vs los {h_los}");
+    }
+
+    #[test]
+    fn coupling_decays_with_tx_separation() {
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let tx = grid.pose(0); // TX1 (corner)
+        let cfg = NlosConfig::default();
+        let near = floor_bounce_gain(&tx, &grid.pose(1), m, &optics, &room, &cfg);
+        let far = floor_bounce_gain(&tx, &grid.pose(5), m, &optics, &room, &cfg);
+        assert!(near > far, "near {near} far {far}");
+    }
+
+    #[test]
+    fn gain_scales_linearly_with_reflectance() {
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let cfg = NlosConfig::default();
+        let dark = Room {
+            floor_reflectance: 0.3,
+            ..room
+        };
+        let h_bright = floor_bounce_gain(&grid.pose(1), &grid.pose(2), m, &optics, &room, &cfg);
+        let h_dark = floor_bounce_gain(&grid.pose(1), &grid.pose(2), m, &optics, &dark, &cfg);
+        assert!((h_bright / h_dark - 0.6 / 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refinement_converges() {
+        // Halving the patch size should change the integral by < 5 %.
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let coarse = floor_bounce_gain(
+            &grid.pose(1),
+            &grid.pose(2),
+            m,
+            &optics,
+            &room,
+            &NlosConfig { patch_size_m: 0.10 },
+        );
+        let fine = floor_bounce_gain(
+            &grid.pose(1),
+            &grid.pose(2),
+            m,
+            &optics,
+            &room,
+            &NlosConfig { patch_size_m: 0.05 },
+        );
+        assert!(
+            ((coarse - fine) / fine).abs() < 0.05,
+            "coarse {coarse} fine {fine}"
+        );
+    }
+
+    #[test]
+    fn pilot_detectable_on_less_reflective_floor() {
+        // Paper §9: the pilot remains detectable with less-reflective floor
+        // materials. Verify the gain degrades gracefully, not to zero.
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let dull = Room {
+            floor_reflectance: 0.15,
+            ..room
+        };
+        let h = floor_bounce_gain(
+            &grid.pose(1),
+            &grid.pose(2),
+            m,
+            &optics,
+            &dull,
+            &NlosConfig::default(),
+        );
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn wall_bounce_is_negligible_for_the_data_channel() {
+        // The Eq. 12 validation: for an interior receiver, the summed
+        // wall-bounce gain is well under 1 % of the LOS gain of its serving
+        // TX — the LOS-only SINR model is sound.
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let rx = Pose::face_up(0.92, 0.92, 0.0);
+        let tx = grid.pose(7); // TX8, the serving TX
+        let h_los = los_gain(&tx, &rx, m, &optics);
+        let h_wall = wall_bounce_gain(&tx, &rx, m, &optics, &room, &NlosConfig::default());
+        assert!(h_wall >= 0.0);
+        assert!(
+            h_wall < 0.01 * h_los,
+            "wall bounce {h_wall:e} not negligible vs LOS {h_los:e}"
+        );
+    }
+
+    #[test]
+    fn wall_bounce_grows_near_a_wall() {
+        // A receiver hugging a wall collects more wall-reflected light than
+        // one at the room center (same TX offset geometry).
+        let (room, m, optics) = setup();
+        let cfg = NlosConfig { patch_size_m: 0.1 };
+        let tx_near = Pose::ceiling(0.75, 0.25, room.height);
+        let rx_near = Pose::face_up(0.75, 0.15, 0.0); // 15 cm from the wall
+        let tx_mid = Pose::ceiling(1.75, 1.5, room.height);
+        let rx_mid = Pose::face_up(1.75, 1.4, 0.0); // room center-ish
+        let near = wall_bounce_gain(&tx_near, &rx_near, m, &optics, &room, &cfg);
+        let mid = wall_bounce_gain(&tx_mid, &rx_mid, m, &optics, &room, &cfg);
+        assert!(near > mid, "near-wall {near:e} !> centered {mid:e}");
+    }
+
+    #[test]
+    fn upward_receiver_cannot_see_the_floor_bounce() {
+        // The geometric reason walls are the only first-order NLOS term for
+        // the data channel: floor-reflected light reaches an upward-facing
+        // receiver from behind its detector plane.
+        let (room, m, optics) = setup();
+        let tx = Pose::ceiling(0.75, 0.75, room.height);
+        let rx = Pose::face_up(1.25, 0.75, 0.0);
+        let h_floor = floor_bounce_gain(&tx, &rx, m, &optics, &room, &NlosConfig::default());
+        assert_eq!(h_floor, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_patch_size_panics() {
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        floor_bounce_gain(
+            &grid.pose(0),
+            &grid.pose(1),
+            m,
+            &optics,
+            &room,
+            &NlosConfig { patch_size_m: 0.0 },
+        );
+    }
+}

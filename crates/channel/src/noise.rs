@@ -1,0 +1,188 @@
+//! Receiver noise models.
+//!
+//! The paper models the receiver as an AWGN channel with single-sided
+//! spectral power density `N0 = 7.02 × 10⁻²³ A²/Hz` over `B = 1 MHz`
+//! (Table 1). We carry those as [`NoiseParams`] and provide an
+//! [`AwgnChannel`] sampler for symbol-level simulations (Gaussian samples
+//! via an in-tree Box–Muller transform, since `rand_distr` is outside the
+//! allowed dependency set), plus an optional ambient-light shot-noise term
+//! for sensitivity studies.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Elementary charge in coulombs (for shot-noise computations).
+const ELECTRON_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Receiver noise parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseParams {
+    /// Single-sided noise spectral power density `N0` in A²/Hz.
+    pub n0_a2_per_hz: f64,
+    /// Communication bandwidth `B` in Hz.
+    pub bandwidth_hz: f64,
+}
+
+impl NoiseParams {
+    /// The paper's Table 1 values.
+    pub fn paper() -> Self {
+        NoiseParams {
+            n0_a2_per_hz: 7.02e-23,
+            bandwidth_hz: 1e6,
+        }
+    }
+
+    /// Total in-band noise power `N0·B` in A².
+    pub fn noise_power(&self) -> f64 {
+        self.n0_a2_per_hz * self.bandwidth_hz
+    }
+
+    /// RMS noise current in amperes.
+    pub fn noise_rms(&self) -> f64 {
+        self.noise_power().sqrt()
+    }
+
+    /// Additional shot-noise spectral density `2·q·I_dc` in A²/Hz produced
+    /// by a DC photocurrent `i_dc_a` (ambient light plus the illumination
+    /// bias light of all LEDs).
+    pub fn shot_noise_density(i_dc_a: f64) -> f64 {
+        assert!(i_dc_a >= 0.0, "DC photocurrent must be non-negative");
+        2.0 * ELECTRON_CHARGE * i_dc_a
+    }
+
+    /// Returns new params with the shot noise of `i_dc_a` folded into `N0`.
+    pub fn with_shot_noise(&self, i_dc_a: f64) -> NoiseParams {
+        NoiseParams {
+            n0_a2_per_hz: self.n0_a2_per_hz + Self::shot_noise_density(i_dc_a),
+            bandwidth_hz: self.bandwidth_hz,
+        }
+    }
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        NoiseParams::paper()
+    }
+}
+
+/// A sampler of zero-mean Gaussian noise currents with the configured RMS.
+#[derive(Debug, Clone, Copy)]
+pub struct AwgnChannel {
+    sigma: f64,
+    /// Cached second Box–Muller variate.
+    spare: Option<f64>,
+}
+
+impl AwgnChannel {
+    /// Creates a sampler for the given noise parameters.
+    pub fn new(params: NoiseParams) -> Self {
+        AwgnChannel {
+            sigma: params.noise_rms(),
+            spare: None,
+        }
+    }
+
+    /// Creates a sampler with an explicit standard deviation in amperes.
+    pub fn with_sigma(sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "noise sigma must be non-negative");
+        AwgnChannel { sigma, spare: None }
+    }
+
+    /// The configured standard deviation in amperes.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one noise sample (Box–Muller on top of the supplied RNG).
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z * self.sigma;
+        }
+        // Box–Muller: two uniforms → two independent standard normals.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos() * self.sigma
+    }
+
+    /// Fills `out` with independent noise samples.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for v in out {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_noise_power() {
+        let n = NoiseParams::paper();
+        assert!((n.noise_power() - 7.02e-17).abs() < 1e-30);
+        assert!((n.noise_rms() - 7.02e-17f64.sqrt()).abs() < 1e-30);
+    }
+
+    #[test]
+    fn shot_noise_scales_with_dc_current() {
+        let d1 = NoiseParams::shot_noise_density(1e-6);
+        let d2 = NoiseParams::shot_noise_density(2e-6);
+        assert!((d2 / d1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_shot_noise_only_increases_density() {
+        let base = NoiseParams::paper();
+        let noisy = base.with_shot_noise(1e-3);
+        assert!(noisy.n0_a2_per_hz > base.n0_a2_per_hz);
+        assert_eq!(noisy.bandwidth_hz, base.bandwidth_hz);
+    }
+
+    #[test]
+    fn awgn_sample_statistics() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ch = AwgnChannel::with_sigma(2.0);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = ch.sample(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn zero_sigma_yields_zero_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ch = AwgnChannel::with_sigma(0.0);
+        for _ in 0..10 {
+            assert_eq!(ch.sample(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    fn fill_writes_every_slot() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ch = AwgnChannel::with_sigma(1.0);
+        let mut buf = [0.0; 101];
+        ch.fill(&mut rng, &mut buf);
+        // With probability ~1 every slot is non-zero.
+        assert!(buf.iter().filter(|&&x| x != 0.0).count() >= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dc_current_panics() {
+        NoiseParams::shot_noise_density(-1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Geometry primitives for the DenseVLC reproduction.
+//!
+//! DenseVLC deploys a dense grid of LED transmitters on the ceiling of an
+//! indoor room and serves receivers placed on the floor or on tables. All
+//! optical-channel quantities (irradiation angle, incidence angle, distance)
+//! are purely geometric, so this crate provides the shared vocabulary:
+//!
+//! * [`Vec3`] — a minimal 3-component vector with the handful of operations
+//!   the channel model needs (no external linear-algebra dependency).
+//! * [`Pose`] — a position plus a unit orientation (boresight) vector, used
+//!   for both transmitters (typically facing down) and receivers (typically
+//!   facing up).
+//! * [`Room`] and [`AreaOfInterest`] — the 3 m × 3 m × 2.8 m evaluation room
+//!   from the paper and the central 2.2 m × 2.2 m region used for the
+//!   illumination-uniformity requirement.
+//! * [`TxGrid`] — builder for the 6 × 6 ceiling grid of 36 transmitters with
+//!   0.5 m spacing used throughout the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod pose;
+pub mod room;
+pub mod vec3;
+
+pub use grid::TxGrid;
+pub use pose::Pose;
+pub use room::{AreaOfInterest, Room};
+pub use vec3::Vec3;

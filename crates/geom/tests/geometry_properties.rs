@@ -1,0 +1,86 @@
+//! Property tests for the geometry substrate.
+
+use proptest::prelude::*;
+use vlc_geom::{Pose, Room, TxGrid, Vec3};
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    /// The triangle inequality holds for any three points.
+    #[test]
+    fn triangle_inequality(a in arb_vec3(), b in arb_vec3(), c in arb_vec3()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    /// Dot product is symmetric and the norm is consistent with it.
+    #[test]
+    fn dot_symmetry_and_norm(a in arb_vec3(), b in arb_vec3()) {
+        prop_assert!((a.dot(b) - b.dot(a)).abs() < 1e-9);
+        prop_assert!((a.norm_sq() - a.dot(a)).abs() < 1e-9);
+    }
+
+    /// The cross product is orthogonal to both inputs.
+    #[test]
+    fn cross_is_orthogonal(a in arb_vec3(), b in arb_vec3()) {
+        let c = a.cross(b);
+        prop_assert!(a.dot(c).abs() < 1e-6);
+        prop_assert!(b.dot(c).abs() < 1e-6);
+    }
+
+    /// Normalization yields a unit vector whenever it is defined.
+    #[test]
+    fn normalized_is_unit(v in arb_vec3()) {
+        if let Some(u) = v.try_normalized() {
+            prop_assert!((u.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Clamping puts any point inside the room footprint, and is idempotent.
+    #[test]
+    fn clamp_is_idempotent_and_inside(p in arb_vec3()) {
+        let room = Room::paper_simulation();
+        let q = room.clamp_xy(p);
+        prop_assert!((0.0..=room.width).contains(&q.x));
+        prop_assert!((0.0..=room.depth).contains(&q.y));
+        let r = room.clamp_xy(q);
+        prop_assert!((q - r).norm() < 1e-12);
+    }
+
+    /// `nearest` really returns the closest grid TX for any point.
+    #[test]
+    fn nearest_is_truly_nearest(x in 0.0f64..3.0, y in 0.0f64..3.0) {
+        let grid = TxGrid::paper(&Room::paper_simulation());
+        let p = Vec3::new(x, y, 0.0);
+        let best = grid.nearest(p);
+        let d_best = grid.pose(best).position.horizontal_distance(p);
+        for i in 0..grid.len() {
+            let d = grid.pose(i).position.horizontal_distance(p);
+            prop_assert!(d_best <= d + 1e-12);
+        }
+    }
+
+    /// `within_radius` returns exactly the TXs inside the radius.
+    #[test]
+    fn within_radius_is_exact(x in 0.0f64..3.0, y in 0.0f64..3.0, r in 0.0f64..2.0) {
+        let grid = TxGrid::paper(&Room::paper_simulation());
+        let p = Vec3::new(x, y, 0.0);
+        let inside = grid.within_radius(p, r);
+        for i in 0..grid.len() {
+            let d = grid.pose(i).position.horizontal_distance(p);
+            prop_assert_eq!(inside.contains(&i), d <= r, "TX {} at {}", i, d);
+        }
+    }
+
+    /// Irradiation and incidence cosines are equal for parallel planes at
+    /// any lateral offset (the φ = ψ identity the LOS model relies on).
+    #[test]
+    fn phi_equals_psi_for_parallel_planes(dx in -2.0f64..2.0, dy in -2.0f64..2.0) {
+        let tx = Pose::ceiling(1.5, 1.5, 2.8);
+        let rx = Pose::face_up(1.5 + dx, 1.5 + dy, 0.8);
+        let cos_phi = tx.cos_irradiation(rx.position);
+        let cos_psi = rx.cos_incidence(tx.position);
+        prop_assert!((cos_phi - cos_psi).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,160 @@
+//! The three-level TX front-end driver (paper §7.1).
+//!
+//! The testbed's TX front-end drives the CREE XT-E with three light levels
+//! instead of the two of a typical low-end VLC driver: *symbol LOW* (LED
+//! off), *illumination* (bias), and *symbol HIGH*. Two parallel
+//! transistor+resistor branches set the illumination and HIGH currents, and
+//! their resistors are tuned so the average luminous flux is identical in
+//! illumination mode and in 50 %-duty-cycle communication mode. The paper
+//! measures the whole front-end at 2.51 W in illumination mode and 3.04 W in
+//! 50 %-duty communication mode; we carry those as empirical constants and
+//! scale the model's LED-side communication power up to the measured step
+//! (the branch resistors burn most of the extra power).
+
+use crate::{LedParams, OperatingMode};
+use serde::{Deserialize, Serialize};
+
+/// The three drive levels of the front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriveLevel {
+    /// Symbol LOW: the LED emits no light (both branches off).
+    SymbolLow,
+    /// Illumination: the bias branch conducts.
+    Illumination,
+    /// Symbol HIGH: both branches conduct.
+    SymbolHigh,
+}
+
+/// Emulation of the two-branch, three-level LED driver.
+///
+/// In the hardware, symbol LOW turns the LED fully off (0 A) and symbol HIGH
+/// compensates with `2·Ib` so that 50 %-duty communication keeps the average
+/// flux at the illumination level — i.e. the driver realizes the maximum
+/// swing `Isw = 2·Ib` of the model. Reduced swings are also supported for
+/// completeness, although DenseVLC's practical design (Insight 2) only uses
+/// zero or full swing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreeLevelDriver {
+    /// The attached LED's parameters.
+    pub led: LedParams,
+    /// Measured front-end draw in pure illumination mode, in watts.
+    pub illumination_draw_w: f64,
+    /// Ratio of the front-end's measured extra communication draw to the
+    /// LED-side model's `P̄C` at full swing — the driver's own losses
+    /// (branch resistors, transistors) on top of the LED.
+    pub comm_overhead_factor: f64,
+}
+
+impl ThreeLevelDriver {
+    /// Driver matching the paper's measured front-end: 2.51 W illumination,
+    /// 3.04 W at full-swing 50 %-duty communication.
+    pub fn paper(led: LedParams) -> Self {
+        let model_full_swing = crate::power::communication_power_exact(&led, led.max_swing);
+        ThreeLevelDriver {
+            led,
+            illumination_draw_w: 2.51,
+            comm_overhead_factor: (3.04 - 2.51) / model_full_swing,
+        }
+    }
+
+    /// An idealized driver with no losses beyond the LED model itself.
+    pub fn lossless(led: LedParams) -> Self {
+        ThreeLevelDriver {
+            led,
+            illumination_draw_w: crate::power::led_power(&led, led.bias_current),
+            comm_overhead_factor: 1.0,
+        }
+    }
+
+    /// Instantaneous drive current for a level, given the configured swing.
+    pub fn current(&self, level: DriveLevel, swing: f64) -> f64 {
+        match level {
+            DriveLevel::SymbolLow => self.led.low_current(swing).max(0.0),
+            DriveLevel::Illumination => self.led.bias_current,
+            DriveLevel::SymbolHigh => self.led.high_current(swing),
+        }
+    }
+
+    /// Average electrical power drawn by the front-end in a mode (what a
+    /// power meter on the TX would read).
+    pub fn average_power(&self, mode: OperatingMode) -> f64 {
+        let comm_extra = match mode {
+            OperatingMode::Illumination => 0.0,
+            OperatingMode::IlluminationAndCommunication { swing } => {
+                self.comm_overhead_factor
+                    * crate::power::communication_power_exact(&self.led, swing)
+            }
+        };
+        self.illumination_draw_w + comm_extra
+    }
+
+    /// Relative average luminous flux of a mode versus pure illumination
+    /// (1.0 means no visible brightness change). Flux is proportional to
+    /// average current for the emulated device.
+    pub fn relative_flux(&self, mode: OperatingMode) -> f64 {
+        mode.average_current(&self.led) / self.led.bias_current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver() -> ThreeLevelDriver {
+        ThreeLevelDriver::paper(LedParams::cree_xte_paper())
+    }
+
+    #[test]
+    fn illumination_mode_draws_2_51_w() {
+        let p = driver().average_power(OperatingMode::Illumination);
+        assert!((p - 2.51).abs() < 1e-12, "illumination draw {p} W");
+    }
+
+    #[test]
+    fn full_swing_communication_draws_3_04_w() {
+        let d = driver();
+        let p = d.average_power(OperatingMode::full_swing(&d.led));
+        assert!((p - 3.04).abs() < 1e-9, "communication draw {p} W");
+    }
+
+    #[test]
+    fn partial_swing_draw_is_between_modes() {
+        let d = driver();
+        let p = d.average_power(OperatingMode::IlluminationAndCommunication { swing: 0.45 });
+        assert!(p > 2.51 && p < 3.04, "draw {p} W");
+    }
+
+    #[test]
+    fn full_swing_levels_are_zero_bias_double() {
+        let d = driver();
+        let sw = d.led.max_swing;
+        assert_eq!(d.current(DriveLevel::SymbolLow, sw), 0.0);
+        assert_eq!(d.current(DriveLevel::Illumination, sw), 0.45);
+        assert!((d.current(DriveLevel::SymbolHigh, sw) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flux_is_invariant_across_modes() {
+        let d = driver();
+        for &sw in &[0.0, 0.45, 0.9] {
+            let m = OperatingMode::IlluminationAndCommunication { swing: sw };
+            assert!((d.relative_flux(m) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lossless_driver_matches_led_model() {
+        let led = LedParams::cree_xte_paper();
+        let d = ThreeLevelDriver::lossless(led);
+        let extra = d.average_power(OperatingMode::full_swing(&led))
+            - d.average_power(OperatingMode::Illumination);
+        let model = crate::power::communication_power_exact(&led, led.max_swing);
+        assert!((extra - model).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_driver_overhead_factor_exceeds_one() {
+        // The real driver burns more than the LED-side model on comm extras.
+        assert!(driver().comm_overhead_factor > 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! LED electrical and optical models for the DenseVLC reproduction.
+//!
+//! DenseVLC modulates the drive current of each LED around an illumination
+//! bias `Ib` with a swing `Isw` (modified OOK with Manchester coding), so the
+//! power an LED spends on *communication* — beyond what illumination already
+//! costs — is the quantity the whole power-allocation story is built on.
+//! This crate implements:
+//!
+//! * [`LedParams`] — device parameters (diode ideality, saturation current,
+//!   series resistance, thermal voltage, swing limits, wall-plug efficiency),
+//!   with a profile matching the paper's CREE XT-E numbers (Table 1).
+//! * [`power`] — the Shockley-based electrical power model (paper Eq. 8), its
+//!   second-order Taylor approximation around the bias (Eq. 9–10), the
+//!   dynamic resistance `r`, and the exact-vs-approximate error analysis
+//!   behind Fig. 4.
+//! * [`modes`] — the two operating modes (illumination only vs
+//!   illumination + communication), with the brightness-invariance rule that
+//!   forbids flicker when switching.
+//! * [`driver`] — the three-level TX front-end driver from §7.1 (symbol LOW /
+//!   illumination / symbol HIGH emitted intensities and electrical draw).
+//! * [`luminaire`] — the footnote-1 generalization: M ganged LEDs per TX
+//!   with linear power/flux scaling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod luminaire;
+pub mod modes;
+pub mod params;
+pub mod power;
+
+pub use driver::ThreeLevelDriver;
+pub use luminaire::Luminaire;
+pub use modes::{BrightnessError, OperatingMode};
+pub use params::LedParams;
+pub use power::{
+    communication_power_avg, communication_power_exact, dynamic_resistance, led_power,
+    taylor_relative_error_total,
+};

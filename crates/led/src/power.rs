@@ -1,0 +1,208 @@
+//! The LED electrical power model and its Taylor approximation.
+//!
+//! Paper Eq. 8 models instantaneous LED power as
+//! `Pled(I) = k·Vt·ln(I/Is + 1)·I + Rs·I²` (diode drop plus series
+//! resistance). Expanding to second order around the bias `Ib` (Eq. 9) and
+//! averaging over Manchester-coded symbols (HIGH and LOW equiprobable at
+//! `Ib ± Isw/2`) gives the average *extra* power spent on communication
+//! (Eq. 10): `P̄C = r · (Isw/2)²` with dynamic resistance
+//! `r = k·Vt/(2·Ib) + Rs`.
+//!
+//! Fig. 4 of the paper quantifies the quality of this approximation against
+//! the exact model — [`taylor_relative_error_total`] reproduces that curve.
+
+use crate::LedParams;
+
+/// Exact instantaneous electrical power drawn by the LED at current `I`
+/// (paper Eq. 8). `I` must be non-negative; the diode term vanishes at 0.
+pub fn led_power(p: &LedParams, current: f64) -> f64 {
+    assert!(
+        current >= 0.0,
+        "LED current must be non-negative, got {current}"
+    );
+    let diode =
+        p.ideality * p.thermal_voltage * (current / p.saturation_current + 1.0).ln() * current;
+    diode + p.series_resistance * current * current
+}
+
+/// The LED's dynamic (small-signal) resistance at the bias working point:
+/// `r = k·Vt / (2·Ib) + Rs` (paper Eq. 10).
+pub fn dynamic_resistance(p: &LedParams) -> f64 {
+    p.ideality * p.thermal_voltage / (2.0 * p.bias_current) + p.series_resistance
+}
+
+/// Second-order-Taylor average communication power for a swing `Isw`
+/// (paper Eq. 10): `P̄C = r · (Isw/2)²`.
+///
+/// This is the model the optimizer and the heuristic budget accounting use.
+pub fn communication_power_avg(p: &LedParams, swing: f64) -> f64 {
+    debug_assert!(swing >= 0.0);
+    let half = swing / 2.0;
+    dynamic_resistance(p) * half * half
+}
+
+/// Exact average communication power for a swing `Isw`: the Manchester
+/// symbol average of the exact model minus the pure-illumination power,
+/// `(Pled(Ih) + Pled(Il))/2 − Pled(Ib)`.
+pub fn communication_power_exact(p: &LedParams, swing: f64) -> f64 {
+    assert!(
+        p.swing_is_valid(swing),
+        "swing {swing} A outside the communication region (Ib = {} A, max = {} A)",
+        p.bias_current,
+        p.max_swing
+    );
+    let high = led_power(p, p.high_current(swing));
+    let low = led_power(p, p.low_current(swing).max(0.0));
+    (high + low) / 2.0 - led_power(p, p.bias_current)
+}
+
+/// Relative error of the Taylor model on the LED's *total* average power
+/// consumption at swing `Isw` — the quantity plotted in the paper's Fig. 4
+/// (≈ 0.45 % at the maximum 900 mA swing).
+///
+/// Total exact average power is `(Pled(Ih) + Pled(Il))/2`; the approximation
+/// is `Pled(Ib) + r·(Isw/2)²`.
+pub fn taylor_relative_error_total(p: &LedParams, swing: f64) -> f64 {
+    let exact_total =
+        (led_power(p, p.high_current(swing)) + led_power(p, p.low_current(swing).max(0.0))) / 2.0;
+    let approx_total = led_power(p, p.bias_current) + communication_power_avg(p, swing);
+    ((exact_total - approx_total) / exact_total).abs()
+}
+
+/// The per-TX communication power at full swing,
+/// `PC,tx,max = r · (Isw,max/2)²` — 74.42 mW for the paper profile (§4.2).
+pub fn full_swing_power(p: &LedParams) -> f64 {
+    communication_power_avg(p, p.max_swing)
+}
+
+/// The *physical* optical swing amplitude for a given current swing, in
+/// watts: `η · (Pled(Ih) − Pled(Il)) / 2`.
+///
+/// This is the actual AC light amplitude a photodiode sees — roughly half a
+/// watt at full swing — as opposed to Eq. 12's `η·r·(Isw/2)²` term, which is
+/// the paper's power-*accounting* metric. The synchronization link physics
+/// (detecting a floor-reflected pilot) depends on the physical amplitude.
+pub fn optical_swing_amplitude(p: &LedParams, swing: f64) -> f64 {
+    assert!(
+        p.swing_is_valid(swing),
+        "swing {swing} A outside the communication region"
+    );
+    let high = led_power(p, p.high_current(swing));
+    let low = led_power(p, p.low_current(swing).max(0.0));
+    p.wall_plug_efficiency * (high - low) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> LedParams {
+        LedParams::cree_xte_paper()
+    }
+
+    #[test]
+    fn led_power_is_zero_at_zero_current() {
+        assert_eq!(led_power(&paper(), 0.0), 0.0);
+    }
+
+    #[test]
+    fn led_power_is_monotonic_in_current() {
+        let p = paper();
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let cur = led_power(&p, i as f64 * 0.05);
+            assert!(cur > prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn dynamic_resistance_matches_paper_value() {
+        // r = k·Vt/(2·Ib) + Rs with the calibrated Vt gives the r that makes
+        // PC,tx,max = 74.42 mW (paper §4.2).
+        let r = dynamic_resistance(&paper());
+        assert!((r - 0.3675).abs() < 1e-3, "r = {r}");
+    }
+
+    #[test]
+    fn full_swing_power_matches_paper_74_42_mw() {
+        let pc = full_swing_power(&paper());
+        assert!((pc - 0.07442).abs() < 2e-4, "PC,tx,max = {pc} W");
+    }
+
+    #[test]
+    fn zero_swing_costs_nothing() {
+        assert_eq!(communication_power_avg(&paper(), 0.0), 0.0);
+        assert!(communication_power_exact(&paper(), 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn taylor_error_at_max_swing_matches_fig4() {
+        // Paper Fig. 4: ≈ 0.45 % relative error at Isw = 900 mA.
+        let err = taylor_relative_error_total(&paper(), 0.9);
+        assert!(
+            (err - 0.0045).abs() < 0.0015,
+            "relative error at 900 mA was {:.4} %",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn taylor_error_grows_with_swing() {
+        let p = paper();
+        let e_small = taylor_relative_error_total(&p, 0.1);
+        let e_mid = taylor_relative_error_total(&p, 0.5);
+        let e_max = taylor_relative_error_total(&p, 0.9);
+        assert!(e_small < e_mid && e_mid < e_max);
+        assert!(e_small < 1e-3);
+    }
+
+    #[test]
+    fn taylor_error_is_insensitive_to_vt_profile() {
+        // The Fig. 4 shape holds under the textbook room-temperature Vt too.
+        let err = taylor_relative_error_total(&LedParams::room_temperature_vt(), 0.9);
+        assert!((err - 0.0045).abs() < 2e-3, "err = {err}");
+    }
+
+    #[test]
+    fn exact_and_approx_agree_for_small_swings() {
+        let p = paper();
+        for &sw in &[0.01, 0.05, 0.1] {
+            let exact = communication_power_exact(&p, sw);
+            let approx = communication_power_avg(&p, sw);
+            let rel = ((exact - approx) / exact).abs();
+            assert!(rel < 0.02, "swing {sw}: rel diff {rel}");
+        }
+    }
+
+    #[test]
+    fn optical_swing_amplitude_is_physical_scale() {
+        // At full swing the AC light amplitude is around half a watt —
+        // orders of magnitude above the 30 mW power-accounting term.
+        let p = paper();
+        let amp = optical_swing_amplitude(&p, p.max_swing);
+        assert!(amp > 0.3 && amp < 1.5, "amplitude {amp} W");
+        assert_eq!(optical_swing_amplitude(&p, 0.0), 0.0);
+    }
+
+    #[test]
+    fn optical_swing_amplitude_grows_with_swing() {
+        let p = paper();
+        let a1 = optical_swing_amplitude(&p, 0.3);
+        let a2 = optical_swing_amplitude(&p, 0.6);
+        let a3 = optical_swing_amplitude(&p, 0.9);
+        assert!(a1 < a2 && a2 < a3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_current_panics() {
+        led_power(&paper(), -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "communication region")]
+    fn oversized_swing_panics_in_exact_model() {
+        communication_power_exact(&paper(), 1.2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Property tests for the uplink wire encoding.
+
+use proptest::prelude::*;
+use vlc_mac::protocol::{Ack, ChannelReport};
+use vlc_mac::wire::{decode, encode_ack, encode_report, Uplink};
+
+proptest! {
+    /// Report round-trips preserve SNRs within the 0.01 dB quantization
+    /// for any physical SNR range, and sub-floor values decode as unheard.
+    #[test]
+    fn report_roundtrip(
+        rx in 0usize..8,
+        snrs in proptest::collection::vec(0.0f64..1e6, 0..64),
+    ) {
+        let report = ChannelReport { rx, snr_per_tx: snrs.clone() };
+        let bytes = encode_report(&report);
+        prop_assert_eq!(bytes.len(), 4 + 2 * snrs.len());
+        let Uplink::Report(decoded) = decode(&bytes).expect("valid") else {
+            return Err(TestCaseError::fail("wrong variant"));
+        };
+        prop_assert_eq!(decoded.rx, rx);
+        for (orig, got) in snrs.iter().zip(&decoded.snr_per_tx) {
+            if *orig < 1.1e-8 {
+                prop_assert_eq!(*got, 0.0);
+            } else {
+                let err_db = (10.0 * (got / orig).log10()).abs();
+                prop_assert!(err_db < 0.011, "error {err_db} dB");
+            }
+        }
+    }
+
+    /// ACK round-trips are exact.
+    #[test]
+    fn ack_roundtrip(rx in 0usize..8, seq in any::<u32>(), ok in any::<bool>()) {
+        let ack = Ack { rx, seq, ok };
+        prop_assert_eq!(decode(&encode_ack(&ack)), Ok(Uplink::Ack(ack)));
+    }
+
+    /// Arbitrary byte garbage never panics the decoder.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode(&bytes); // must not panic
+    }
+}

@@ -1,0 +1,212 @@
+//! GF(2⁸) arithmetic for the Reed–Solomon codec.
+//!
+//! The field is GF(2⁸) with the primitive polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11d) — the conventional choice for byte-wise
+//! Reed–Solomon codes. Multiplication and division go through exp/log
+//! tables built once at startup.
+
+/// Number of non-zero field elements.
+pub const FIELD_ORDER: usize = 255;
+
+/// Exp/log tables for GF(2⁸).
+#[derive(Debug, Clone)]
+pub struct Gf256 {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+impl Gf256 {
+    /// Builds the tables for the 0x11d primitive polynomial.
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, slot) in exp.iter_mut().enumerate().take(FIELD_ORDER) {
+            *slot = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d;
+            }
+        }
+        // Duplicate the table so exp[i + j] works without a mod for
+        // i + j < 510.
+        for i in FIELD_ORDER..512 {
+            exp[i] = exp[i - FIELD_ORDER];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// α^i for `i < 510`.
+    #[inline]
+    pub fn alpha_pow(&self, i: usize) -> u8 {
+        self.exp[i % FIELD_ORDER]
+    }
+
+    /// Discrete log of a non-zero element.
+    ///
+    /// # Panics
+    /// Panics on zero, which has no logarithm.
+    #[inline]
+    pub fn log(&self, x: u8) -> usize {
+        assert!(x != 0, "log(0) is undefined in GF(256)");
+        self.log[x as usize] as usize
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    /// Panics when `b` is zero.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(256)");
+        if a == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] as usize + FIELD_ORDER - self.log[b as usize] as usize)
+                % FIELD_ORDER]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "zero has no inverse in GF(256)");
+        self.exp[FIELD_ORDER - self.log[a as usize] as usize]
+    }
+
+    /// Evaluates a polynomial (coefficients high-degree first) at `x`.
+    pub fn poly_eval(&self, poly: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in poly {
+            acc = self.mul(acc, x) ^ c;
+        }
+        acc
+    }
+
+    /// Multiplies two polynomials (coefficients high-degree first).
+    pub fn poly_mul(&self, a: &[u8], b: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; a.len() + b.len() - 1];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                out[i + j] ^= self.mul(ai, bj);
+            }
+        }
+        out
+    }
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Gf256::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_are_inverse() {
+        let gf = Gf256::new();
+        for i in 0..FIELD_ORDER {
+            let x = gf.alpha_pow(i);
+            assert_eq!(gf.log(x), i);
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_carryless() {
+        // Reference: carry-less multiply reduced by 0x11d.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut p: u16 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= 0x11d;
+                }
+                b >>= 1;
+            }
+            p as u8
+        }
+        let gf = Gf256::new();
+        for a in [0u8, 1, 2, 3, 0x53, 0xca, 0xff] {
+            for b in [0u8, 1, 2, 0x0e, 0x80, 0xff] {
+                assert_eq!(gf.mul(a, b), slow_mul(a as u16, b as u16), "{a} × {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        let gf = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn div_is_mul_by_inverse() {
+        let gf = Gf256::new();
+        for a in [1u8, 7, 99, 200, 255] {
+            for b in [1u8, 2, 88, 254] {
+                assert_eq!(gf.div(a, b), gf.mul(a, gf.inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let gf = Gf256::new();
+        // p(x) = 2x² + 3x + 5 at x = 1 → 2 ^ 3 ^ 5 = 4.
+        assert_eq!(gf.poly_eval(&[2, 3, 5], 1), 4);
+        // Any polynomial at x = 0 equals its constant term.
+        assert_eq!(gf.poly_eval(&[7, 9, 0x42], 0), 0x42);
+    }
+
+    #[test]
+    fn poly_mul_degree_and_identity() {
+        let gf = Gf256::new();
+        let p = [1u8, 2, 3];
+        assert_eq!(gf.poly_mul(&p, &[1]), p.to_vec());
+        let q = gf.poly_mul(&p, &[1, 0]); // × x
+        assert_eq!(q, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "log(0)")]
+    fn log_zero_panics() {
+        Gf256::new().log(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_zero_panics() {
+        Gf256::new().div(1, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Block interleaving for burst-error resilience.
+//!
+//! The paper's Reed–Solomon code corrects up to 8 byte errors *per
+//! 216-byte chunk*; a burst longer than that (an occluder sweeping through
+//! the beam, an impulse on the mains) kills the chunk outright. A block
+//! interleaver writes the coded bytes row-wise into a `depth × width`
+//! matrix and transmits column-wise, so a burst of `b` consecutive channel
+//! bytes lands as at most `⌈b/depth⌉` errors in any one chunk. This is a
+//! natural companion to the paper's FEC that the BBB could have afforded
+//! (it is pure byte shuffling).
+
+use serde::{Deserialize, Serialize};
+
+/// A block interleaver of fixed depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interleaver {
+    /// Number of rows — the factor by which bursts are diluted.
+    pub depth: usize,
+}
+
+impl Interleaver {
+    /// Creates an interleaver.
+    ///
+    /// # Panics
+    /// Panics when `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "interleaver depth must be positive");
+        Interleaver { depth }
+    }
+
+    /// Interleaves `data` (any length; a trailing partial column is kept in
+    /// order). The output length always equals the input length.
+    pub fn interleave(&self, data: &[u8]) -> Vec<u8> {
+        self.permute(data, false)
+    }
+
+    /// Inverts [`Interleaver::interleave`].
+    pub fn deinterleave(&self, data: &[u8]) -> Vec<u8> {
+        self.permute(data, true)
+    }
+
+    /// Row-wise write, column-wise read over a `depth × width` matrix of
+    /// the longest full block; leftover bytes pass through in place.
+    fn permute(&self, data: &[u8], invert: bool) -> Vec<u8> {
+        let d = self.depth;
+        if d == 1 || data.len() < 2 * d {
+            return data.to_vec();
+        }
+        let width = data.len() / d;
+        let body = width * d;
+        let mut out = vec![0u8; data.len()];
+        for i in 0..body {
+            let (row, col) = (i / width, i % width);
+            let j = col * d + row;
+            if invert {
+                out[i] = data[j];
+            } else {
+                out[j] = data[i];
+            }
+        }
+        out[body..].copy_from_slice(&data[body..]);
+        out
+    }
+
+    /// The idealized maximum channel-burst length (in bytes) a following
+    /// Reed–Solomon decoder still corrects, assuming one burst per
+    /// interleaver block and a block spanning at least `depth` chunks:
+    /// each chunk then sees at most `⌈burst/depth⌉` errors, so the
+    /// tolerable burst is `depth × t`. For shorter streams the joint
+    /// budget `n_chunks × t` binds first (see the tests).
+    pub fn burst_tolerance(&self, rs_t: usize) -> usize {
+        self.depth * rs_t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rs::ReedSolomon;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_exact_block() {
+        let il = Interleaver::new(4);
+        let data: Vec<u8> = (0..32).collect();
+        let shuffled = il.interleave(&data);
+        assert_ne!(shuffled, data, "interleaver was a no-op");
+        assert_eq!(il.deinterleave(&shuffled), data);
+    }
+
+    #[test]
+    fn depth_one_is_identity() {
+        let il = Interleaver::new(1);
+        let data = vec![5u8, 4, 3, 2, 1];
+        assert_eq!(il.interleave(&data), data);
+    }
+
+    #[test]
+    fn a_burst_spreads_across_the_block() {
+        // Depth 8 over 64 bytes: an 8-byte channel burst must hit each
+        // de-interleaved row at most once.
+        let il = Interleaver::new(8);
+        let data: Vec<u8> = (0..64).collect();
+        let mut on_air = il.interleave(&data);
+        for b in on_air.iter_mut().take(8) {
+            *b ^= 0xFF; // the burst
+        }
+        let received = il.deinterleave(&on_air);
+        // Errors per 8-byte row of the original layout:
+        for row in 0..8 {
+            let errors = (0..8)
+                .filter(|&col| received[row * 8 + col] != data[row * 8 + col])
+                .count();
+            assert!(errors <= 1, "row {row} took {errors} errors from one burst");
+        }
+    }
+
+    #[test]
+    fn interleaving_rescues_rs_from_a_long_burst() {
+        // Two RS chunks (432 coded bytes) with depth-16 interleaving: a
+        // 14-byte burst (1.75× one chunk's t = 8 budget) splits across the
+        // chunks and still decodes. (The joint budget over two chunks is
+        // 2·t = 16 errors; bursts beyond that are unrecoverable no matter
+        // the interleaving.)
+        let rs = ReedSolomon::paper();
+        let il = Interleaver::new(16);
+        let payload: Vec<u8> = (0..400).map(|i| (i % 251) as u8).collect();
+        let coded = rs.encode_payload(&payload);
+        let mut on_air = il.interleave(&coded);
+        for b in on_air.iter_mut().skip(100).take(14) {
+            *b ^= 0xA5;
+        }
+        let mut received = il.deinterleave(&on_air);
+        let (decoded, fixed) = rs
+            .decode_payload(&mut received, 400)
+            .expect("interleaving dilutes the burst");
+        assert_eq!(decoded, payload);
+        assert_eq!(fixed, 14, "burst errors corrected: {fixed}");
+
+        // Control: the same burst without interleaving kills a chunk.
+        let mut bare = rs.encode_payload(&payload);
+        for b in bare.iter_mut().skip(100).take(14) {
+            *b ^= 0xA5;
+        }
+        assert!(rs.decode_payload(&mut bare, 400).is_err());
+    }
+
+    #[test]
+    fn burst_tolerance_formula() {
+        assert_eq!(Interleaver::new(16).burst_tolerance(8), 128);
+        assert_eq!(Interleaver::new(1).burst_tolerance(8), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_panics() {
+        Interleaver::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_any_length(
+            data in proptest::collection::vec(any::<u8>(), 0..600),
+            depth in 1usize..12,
+        ) {
+            let il = Interleaver::new(depth);
+            let shuffled = il.interleave(&data);
+            prop_assert_eq!(shuffled.len(), data.len());
+            prop_assert_eq!(il.deinterleave(&shuffled), data);
+        }
+
+        #[test]
+        fn prop_interleave_is_a_permutation(
+            len in 2usize..300,
+            depth in 2usize..10,
+        ) {
+            let data: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let il = Interleaver::new(depth);
+            let mut shuffled = il.interleave(&data);
+            let mut orig = data.clone();
+            shuffled.sort_unstable();
+            orig.sort_unstable();
+            prop_assert_eq!(shuffled, orig);
+        }
+    }
+}

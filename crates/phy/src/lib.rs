@@ -1,0 +1,43 @@
+//! VLC physical layer for the DenseVLC reproduction.
+//!
+//! DenseVLC's PHY (paper §3.3, §7) is a modified On-Off-Keying scheme:
+//! the LED current swings around the illumination bias, Manchester coding
+//! keeps average brightness constant, and a Reed–Solomon outer code protects
+//! the payload (16 parity bytes per 200 payload bytes, Table 3). The
+//! receiver front-end is a three-stage analog chain — transimpedance
+//! amplifier, AC-coupled amplifier, 7th-order Butterworth anti-aliasing
+//! filter — followed by a 1 Msps ADC, and link quality is estimated with
+//! the M2M4 moments method. This crate implements all of it:
+//!
+//! * [`manchester`] — Manchester bit/chip coding.
+//! * [`gf256`] + [`rs`] — GF(2⁸) arithmetic and the Reed–Solomon
+//!   encoder/decoder (t = 8 symbol corrections per 216-byte block).
+//! * [`frame`] — the Table 3 frame layout: TX-ID mask, pilot, preamble,
+//!   SFD, header fields, payload, per-chunk RS parity.
+//! * [`waveform`] — symbol-level OOK waveform synthesis and slicing.
+//! * [`frontend`] — the analog receive chain as discrete-time filters plus
+//!   the quantizing ADC.
+//! * [`snr`] — the M2M4 SNR estimator (paper §7.2).
+//! * [`fft`] + [`ofdm`] — the §9 extension: an in-tree radix-2 FFT and a
+//!   DCO-OFDM modem for intensity-modulated VLC.
+//! * [`interleave`] — a block interleaver diluting channel bursts across
+//!   Reed–Solomon chunks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod frame;
+pub mod frontend;
+pub mod gf256;
+pub mod interleave;
+pub mod manchester;
+pub mod ofdm;
+pub mod rs;
+pub mod snr;
+pub mod waveform;
+
+pub use frame::{Frame, FrameError, FrameHeader};
+pub use manchester::{manchester_decode, manchester_encode, Chip};
+pub use rs::{ReedSolomon, RsError};
+pub use snr::m2m4_snr;

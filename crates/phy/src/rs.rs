@@ -1,0 +1,479 @@
+//! Reed–Solomon coding over GF(2⁸).
+//!
+//! DenseVLC protects each 200-byte payload chunk with 16 Reed–Solomon
+//! parity bytes (Table 3), i.e. a shortened RS(216, 200) block that corrects
+//! up to `t = 8` byte errors. The implementation is the classic pipeline:
+//! systematic LFSR encoding, syndrome computation, Berlekamp–Massey for the
+//! error locator, Chien search for positions, and Forney's formula for
+//! magnitudes.
+
+use crate::gf256::Gf256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's parity budget: 16 bytes per chunk.
+pub const PAPER_PARITY: usize = 16;
+/// The paper's chunk size: 200 payload bytes.
+pub const PAPER_CHUNK: usize = 200;
+
+/// Errors surfaced by the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RsError {
+    /// More errors than the code can correct (or a miscorrection trap).
+    TooManyErrors,
+    /// The input block is shorter than the parity or longer than 255 bytes.
+    BadBlockLength {
+        /// Offending block length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::TooManyErrors => write!(f, "uncorrectable Reed-Solomon block"),
+            RsError::BadBlockLength { len } => write!(f, "invalid RS block length {len}"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A Reed–Solomon encoder/decoder with `nroots` parity symbols.
+///
+/// ```
+/// use vlc_phy::rs::ReedSolomon;
+///
+/// let rs = ReedSolomon::paper(); // RS(216, 200), corrects 8 byte errors
+/// let mut block = rs.encode(b"hello, beamspot");
+/// block[3] ^= 0xFF; // channel corruption
+/// let fixed = rs.decode(&mut block).unwrap();
+/// assert_eq!(fixed, 1);
+/// assert_eq!(&block[..15], b"hello, beamspot");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    gf: Gf256,
+    nroots: usize,
+    /// Generator polynomial, high-degree first, `nroots + 1` coefficients.
+    generator: Vec<u8>,
+}
+
+impl ReedSolomon {
+    /// Creates a codec with the given number of parity symbols.
+    ///
+    /// # Panics
+    /// Panics if `nroots` is 0 or ≥ 255.
+    pub fn new(nroots: usize) -> Self {
+        assert!(nroots > 0 && nroots < 255, "nroots must be in 1..255");
+        let gf = Gf256::new();
+        // g(x) = Π_{i=0}^{nroots-1} (x − α^i); minus is plus in GF(2⁸).
+        let mut generator = vec![1u8];
+        for i in 0..nroots {
+            generator = gf.poly_mul(&generator, &[1, gf.alpha_pow(i)]);
+        }
+        ReedSolomon {
+            gf,
+            nroots,
+            generator,
+        }
+    }
+
+    /// The paper's RS(216, 200) configuration (t = 8).
+    pub fn paper() -> Self {
+        ReedSolomon::new(PAPER_PARITY)
+    }
+
+    /// Number of parity symbols.
+    pub fn parity_len(&self) -> usize {
+        self.nroots
+    }
+
+    /// Maximum number of correctable byte errors per block.
+    pub fn correction_capacity(&self) -> usize {
+        self.nroots / 2
+    }
+
+    /// Encodes `data`, returning `data ‖ parity`.
+    ///
+    /// # Panics
+    /// Panics if the resulting block would exceed 255 bytes.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert!(
+            data.len() + self.nroots <= 255,
+            "RS block would exceed 255 bytes ({} data + {} parity)",
+            data.len(),
+            self.nroots
+        );
+        let mut parity = vec![0u8; self.nroots];
+        for &b in data {
+            let feedback = b ^ parity[0];
+            parity.rotate_left(1);
+            parity[self.nroots - 1] = 0;
+            if feedback != 0 {
+                for (p, &g) in parity.iter_mut().zip(&self.generator[1..]) {
+                    *p ^= self.gf.mul(feedback, g);
+                }
+            }
+        }
+        let mut out = data.to_vec();
+        out.extend_from_slice(&parity);
+        out
+    }
+
+    /// Decodes a block in place, returning the number of corrected byte
+    /// errors, or an error when the block is uncorrectable.
+    pub fn decode(&self, block: &mut [u8]) -> Result<usize, RsError> {
+        let n = block.len();
+        if n <= self.nroots || n > 255 {
+            return Err(RsError::BadBlockLength { len: n });
+        }
+        // Syndromes S_j = r(α^j), j = 0..nroots-1.
+        let synd: Vec<u8> = (0..self.nroots)
+            .map(|j| self.gf.poly_eval(block, self.gf.alpha_pow(j)))
+            .collect();
+        if synd.iter().all(|&s| s == 0) {
+            return Ok(0);
+        }
+
+        // Berlekamp–Massey: find the error locator Λ (low-degree first).
+        let lambda = self.berlekamp_massey(&synd);
+        let n_errors = lambda.len() - 1;
+        if n_errors == 0 || n_errors > self.correction_capacity() {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Chien search over the block's positions: byte index i (0 = first
+        // transmitted) corresponds to the x^(n-1-i) coefficient, i.e.
+        // locator root α^{-(n-1-i)}.
+        let mut positions = Vec::new();
+        for i in 0..n {
+            let power = n - 1 - i;
+            let x_inv = self.gf.alpha_pow((255 - (power % 255)) % 255);
+            if self.eval_low_first(&lambda, x_inv) == 0 {
+                positions.push(i);
+            }
+        }
+        if positions.len() != n_errors {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Forney: Ω(x) = [S(x)·Λ(x)] mod x^nroots (low-degree first).
+        let omega = self.omega(&synd, &lambda);
+        // Λ'(x): formal derivative (char 2 keeps only odd-degree terms).
+        let lambda_deriv: Vec<u8> = lambda
+            .iter()
+            .enumerate()
+            .skip(1)
+            .step_by(2)
+            .map(|(_, &c)| c)
+            .collect::<Vec<u8>>();
+        for &i in &positions {
+            let power = n - 1 - i;
+            let x = self.gf.alpha_pow(power % 255);
+            let x_inv = self.gf.inv(x);
+            let num = self.eval_low_first(&omega, x_inv);
+            // Λ'(X⁻¹) from the odd coefficients: Σ Λ_{2k+1} (X⁻¹)^{2k}.
+            let mut den = 0u8;
+            let x_inv_sq = self.gf.mul(x_inv, x_inv);
+            let mut xp = 1u8;
+            for &c in &lambda_deriv {
+                den ^= self.gf.mul(c, xp);
+                xp = self.gf.mul(xp, x_inv_sq);
+            }
+            if den == 0 {
+                return Err(RsError::TooManyErrors);
+            }
+            // fcr = 0 ⇒ magnitude = X · Ω(X⁻¹) / Λ'(X⁻¹).
+            let magnitude = self.gf.mul(x, self.gf.div(num, den));
+            block[i] ^= magnitude;
+        }
+
+        // Re-check the syndromes to trap miscorrections.
+        let ok = (0..self.nroots).all(|j| self.gf.poly_eval(block, self.gf.alpha_pow(j)) == 0);
+        if ok {
+            Ok(positions.len())
+        } else {
+            Err(RsError::TooManyErrors)
+        }
+    }
+
+    /// Berlekamp–Massey over the syndromes; returns Λ low-degree first.
+    fn berlekamp_massey(&self, synd: &[u8]) -> Vec<u8> {
+        let mut lambda = vec![1u8];
+        let mut prev = vec![1u8];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u8;
+        for n in 0..synd.len() {
+            // Discrepancy δ = S_n + Σ_{i=1}^{L} Λ_i S_{n−i}.
+            let mut delta = synd[n];
+            for i in 1..=l.min(lambda.len() - 1) {
+                delta ^= self.gf.mul(lambda[i], synd[n - i]);
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= n {
+                let t = lambda.clone();
+                let coeff = self.gf.div(delta, b);
+                lambda = self.add_shifted(&lambda, &prev, coeff, m);
+                prev = t;
+                l = n + 1 - l;
+                b = delta;
+                m = 1;
+            } else {
+                let coeff = self.gf.div(delta, b);
+                lambda = self.add_shifted(&lambda, &prev, coeff, m);
+                m += 1;
+            }
+        }
+        lambda.truncate(l + 1);
+        lambda
+    }
+
+    /// `a(x) + coeff · x^shift · b(x)` (all low-degree first).
+    fn add_shifted(&self, a: &[u8], b: &[u8], coeff: u8, shift: usize) -> Vec<u8> {
+        let mut out = a.to_vec();
+        if out.len() < b.len() + shift {
+            out.resize(b.len() + shift, 0);
+        }
+        for (i, &bi) in b.iter().enumerate() {
+            out[i + shift] ^= self.gf.mul(coeff, bi);
+        }
+        out
+    }
+
+    /// Ω(x) = S(x)·Λ(x) mod x^nroots, low-degree first.
+    fn omega(&self, synd: &[u8], lambda: &[u8]) -> Vec<u8> {
+        let mut omega = vec![0u8; self.nroots];
+        for (i, &s) in synd.iter().enumerate() {
+            for (j, &lj) in lambda.iter().enumerate() {
+                if i + j < self.nroots {
+                    omega[i + j] ^= self.gf.mul(s, lj);
+                }
+            }
+        }
+        omega
+    }
+
+    /// Evaluates a low-degree-first polynomial at `x`.
+    fn eval_low_first(&self, poly: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &c in poly.iter().rev() {
+            acc = self.gf.mul(acc, x) ^ c;
+        }
+        acc
+    }
+
+    /// Encodes a payload of arbitrary length as consecutive ≤ 200-byte
+    /// chunks, each followed by its 16 parity bytes — the paper's
+    /// `⌈x/200⌉ × 16 B` overhead rule.
+    pub fn encode_payload(&self, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(payload.len() + self.nroots);
+        if payload.is_empty() {
+            return out;
+        }
+        for chunk in payload.chunks(PAPER_CHUNK) {
+            out.extend_from_slice(&self.encode(chunk));
+        }
+        out
+    }
+
+    /// Decodes a payload produced by [`ReedSolomon::encode_payload`],
+    /// given the original payload length. Returns the payload and the total
+    /// number of corrected byte errors.
+    pub fn decode_payload(
+        &self,
+        coded: &mut [u8],
+        payload_len: usize,
+    ) -> Result<(Vec<u8>, usize), RsError> {
+        let n_chunks = payload_len.div_ceil(PAPER_CHUNK);
+        let expected = payload_len + n_chunks * self.nroots;
+        if coded.len() != expected {
+            return Err(RsError::BadBlockLength { len: coded.len() });
+        }
+        let mut payload = Vec::with_capacity(payload_len);
+        let mut corrected = 0;
+        let mut offset = 0;
+        let mut remaining = payload_len;
+        for _ in 0..n_chunks {
+            let chunk_len = remaining.min(PAPER_CHUNK);
+            let block_len = chunk_len + self.nroots;
+            let block = &mut coded[offset..offset + block_len];
+            corrected += self.decode(block)?;
+            payload.extend_from_slice(&block[..chunk_len]);
+            offset += block_len;
+            remaining -= chunk_len;
+        }
+        Ok((payload, corrected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = ReedSolomon::paper();
+        let data: Vec<u8> = (0..200u8).collect();
+        let coded = rs.encode(&data);
+        assert_eq!(coded.len(), 216);
+        assert_eq!(&coded[..200], &data[..]);
+    }
+
+    #[test]
+    fn clean_block_decodes_with_zero_corrections() {
+        let rs = ReedSolomon::paper();
+        let data: Vec<u8> = (0..100u8).collect();
+        let mut coded = rs.encode(&data);
+        assert_eq!(rs.decode(&mut coded), Ok(0));
+        assert_eq!(&coded[..100], &data[..]);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors() {
+        let rs = ReedSolomon::paper();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<u8> = (0..200).map(|_| rng.gen()).collect();
+        let clean = rs.encode(&data);
+        for n_err in 1..=8usize {
+            let mut coded = clean.clone();
+            // Corrupt n_err distinct positions.
+            let mut positions = std::collections::HashSet::new();
+            while positions.len() < n_err {
+                positions.insert(rng.gen_range(0..coded.len()));
+            }
+            for &p in &positions {
+                coded[p] ^= rng.gen_range(1..=255u8);
+            }
+            let fixed = rs
+                .decode(&mut coded)
+                .unwrap_or_else(|e| panic!("decode failed at {n_err} errors: {e}"));
+            assert_eq!(fixed, n_err);
+            assert_eq!(&coded[..200], &data[..]);
+        }
+    }
+
+    #[test]
+    fn detects_more_than_t_errors() {
+        // 9+ errors must not silently decode to the wrong data. (A tiny
+        // residual miscorrection probability is inherent to RS; these seeds
+        // are deterministic and known-good.)
+        let rs = ReedSolomon::paper();
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<u8> = (0..200).map(|_| rng.gen()).collect();
+        for trial in 0..20 {
+            let mut coded = rs.encode(&data);
+            let mut positions = std::collections::HashSet::new();
+            while positions.len() < 12 {
+                positions.insert(rng.gen_range(0..coded.len()));
+            }
+            for &p in &positions {
+                coded[p] ^= rng.gen_range(1..=255u8);
+            }
+            match rs.decode(&mut coded) {
+                Err(RsError::TooManyErrors) => {}
+                Ok(_) => {
+                    assert_eq!(&coded[..200], &data[..], "miscorrection on trial {trial}");
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shortened_blocks_work() {
+        let rs = ReedSolomon::paper();
+        for len in [1usize, 10, 50, 199] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+            let mut coded = rs.encode(&data);
+            coded[len / 2] ^= 0xa5;
+            assert_eq!(rs.decode(&mut coded), Ok(1), "len {len}");
+            assert_eq!(&coded[..len], &data[..]);
+        }
+    }
+
+    #[test]
+    fn payload_roundtrip_multi_chunk() {
+        let rs = ReedSolomon::paper();
+        let payload: Vec<u8> = (0..517).map(|i| (i % 256) as u8).collect();
+        let mut coded = rs.encode_payload(&payload);
+        // 517 bytes → 3 chunks → 48 parity bytes.
+        assert_eq!(coded.len(), 517 + 48);
+        // One error per chunk.
+        coded[10] ^= 1;
+        coded[250] ^= 2;
+        coded[500] ^= 3;
+        let (decoded, fixed) = rs.decode_payload(&mut coded, 517).expect("decodable");
+        assert_eq!(decoded, payload);
+        assert_eq!(fixed, 3);
+    }
+
+    #[test]
+    fn empty_payload_is_identity() {
+        let rs = ReedSolomon::paper();
+        assert!(rs.encode_payload(&[]).is_empty());
+        let (decoded, fixed) = rs.decode_payload(&mut [], 0).expect("empty ok");
+        assert!(decoded.is_empty());
+        assert_eq!(fixed, 0);
+    }
+
+    #[test]
+    fn bad_lengths_are_rejected() {
+        let rs = ReedSolomon::paper();
+        let mut short = vec![0u8; 16];
+        assert_eq!(
+            rs.decode(&mut short),
+            Err(RsError::BadBlockLength { len: 16 })
+        );
+        let mut wrong = vec![0u8; 100];
+        assert!(matches!(
+            rs.decode_payload(&mut wrong, 200),
+            Err(RsError::BadBlockLength { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "255")]
+    fn oversized_block_panics_on_encode() {
+        ReedSolomon::paper().encode(&vec![0u8; 240]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_with_up_to_t_errors(
+            data in proptest::collection::vec(any::<u8>(), 1..=200),
+            err_seed in any::<u64>(),
+            n_err in 0usize..=8,
+        ) {
+            let rs = ReedSolomon::paper();
+            let clean = rs.encode(&data);
+            let mut coded = clean.clone();
+            let mut rng = StdRng::seed_from_u64(err_seed);
+            let mut positions = std::collections::HashSet::new();
+            let n_err = n_err.min(coded.len());
+            while positions.len() < n_err {
+                positions.insert(rng.gen_range(0..coded.len()));
+            }
+            for &p in &positions {
+                coded[p] ^= rng.gen_range(1..=255u8);
+            }
+            let fixed = rs.decode(&mut coded).expect("within capacity");
+            prop_assert_eq!(fixed, n_err);
+            prop_assert_eq!(&coded[..data.len()], &data[..]);
+        }
+
+        #[test]
+        fn prop_parity_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..=200)) {
+            let rs = ReedSolomon::paper();
+            if data.is_empty() {
+                return Ok(());
+            }
+            prop_assert_eq!(rs.encode(&data), rs.encode(&data));
+        }
+    }
+}

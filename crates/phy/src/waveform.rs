@@ -1,0 +1,246 @@
+//! Symbol-level OOK waveform synthesis, sampling, and slicing.
+//!
+//! The testbed transmits chips at `ftx` symbols/s and the receiver samples
+//! at `frx` samples/s (1 Msps in the paper). The waveform layer turns chip
+//! streams into oversampled amplitude sequences (optionally delayed by a
+//! per-TX clock offset — the mechanism that makes unsynchronized joint
+//! transmission fail, Table 5) and recovers chips from noisy sample streams
+//! with a mid-chip slicer.
+
+use crate::manchester::Chip;
+use serde::{Deserialize, Serialize};
+
+/// Waveform timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaveformConfig {
+    /// Chip (symbol) rate at the transmitter, in chips per second.
+    pub symbol_rate_hz: f64,
+    /// Receiver sampling rate, in samples per second.
+    pub sample_rate_hz: f64,
+}
+
+impl WaveformConfig {
+    /// The paper's testbed rates: 100 Ksymbols/s transmit, 1 Msps sampling.
+    pub fn paper() -> Self {
+        WaveformConfig {
+            symbol_rate_hz: 100_000.0,
+            sample_rate_hz: 1_000_000.0,
+        }
+    }
+
+    /// Samples per chip (need not be an integer).
+    pub fn samples_per_chip(&self) -> f64 {
+        self.sample_rate_hz / self.symbol_rate_hz
+    }
+
+    /// Chip duration in seconds.
+    pub fn chip_duration_s(&self) -> f64 {
+        1.0 / self.symbol_rate_hz
+    }
+}
+
+impl Default for WaveformConfig {
+    fn default() -> Self {
+        WaveformConfig::paper()
+    }
+}
+
+/// Renders a chip stream into amplitude samples of length `n_samples`,
+/// applying a start delay in seconds (e.g. a TX clock offset). Amplitudes
+/// are `amplitude × chip.amplitude()` while the frame is on air and `0.0`
+/// (bias only, AC-coupled away) before/after.
+pub fn render(
+    chips: &[Chip],
+    cfg: &WaveformConfig,
+    amplitude: f64,
+    delay_s: f64,
+    n_samples: usize,
+) -> Vec<f64> {
+    assert!(amplitude >= 0.0, "amplitude must be non-negative");
+    // Work in the sample domain so chip boundaries land exactly on samples
+    // when the rates divide evenly (the common testbed configuration).
+    let spc = cfg.samples_per_chip();
+    let delay_samples = delay_s * cfg.sample_rate_hz;
+    (0..n_samples)
+        .map(|i| {
+            let pos = i as f64 - delay_samples;
+            if pos < 0.0 {
+                return 0.0;
+            }
+            let idx = (pos / spc) as usize;
+            match chips.get(idx) {
+                Some(c) => amplitude * c.amplitude(),
+                None => 0.0,
+            }
+        })
+        .collect()
+}
+
+/// Adds waveform `b` into `a` element-wise (superposition of several TXs'
+/// light at one photodiode).
+pub fn mix_into(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "waveform lengths differ");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += *y;
+    }
+}
+
+/// Recovers chips from a sample stream by averaging the middle half of each
+/// chip window and slicing at zero (the AC-coupled stream is zero-mean).
+///
+/// `start_sample` marks where chip 0 begins; `n_chips` chips are recovered.
+/// Returns `None` if the stream is too short.
+pub fn slice_chips(
+    samples: &[f64],
+    cfg: &WaveformConfig,
+    start_sample: usize,
+    n_chips: usize,
+) -> Option<Vec<Chip>> {
+    let spc = cfg.samples_per_chip();
+    let mut chips = Vec::with_capacity(n_chips);
+    for k in 0..n_chips {
+        let begin = start_sample as f64 + k as f64 * spc;
+        // Use the middle half of the chip to dodge edge transients.
+        let lo = (begin + 0.25 * spc).floor() as usize;
+        let hi = (begin + 0.75 * spc).ceil() as usize;
+        if hi > samples.len() || lo >= hi {
+            return None;
+        }
+        let mean: f64 = samples[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        chips.push(if mean >= 0.0 { Chip::High } else { Chip::Low });
+    }
+    Some(chips)
+}
+
+/// Finds the start of a known chip pattern in a sample stream by normalized
+/// cross-correlation, scanning candidate offsets at one-sample granularity.
+/// Returns the best-matching start sample and the correlation score in
+/// `[-1, 1]`, or `None` when the stream is shorter than the pattern.
+pub fn correlate_pattern(
+    samples: &[f64],
+    cfg: &WaveformConfig,
+    pattern: &[Chip],
+    search_from: usize,
+    search_len: usize,
+) -> Option<(usize, f64)> {
+    let template = render(
+        pattern,
+        cfg,
+        1.0,
+        0.0,
+        (pattern.len() as f64 * cfg.samples_per_chip()).round() as usize,
+    );
+    if template.is_empty() {
+        return None;
+    }
+    let t_energy: f64 = template.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let mut best: Option<(usize, f64)> = None;
+    let last_start = search_from
+        .checked_add(search_len)?
+        .min(samples.len().checked_sub(template.len())?);
+    for start in search_from..=last_start {
+        let window = &samples[start..start + template.len()];
+        let dot: f64 = window.iter().zip(&template).map(|(a, b)| a * b).sum();
+        let w_energy: f64 = window.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if w_energy < 1e-30 {
+            continue;
+        }
+        let score = dot / (t_energy * w_energy);
+        if best.is_none_or(|(_, b)| score > b) {
+            best = Some((start, score));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manchester::manchester_encode;
+
+    fn cfg() -> WaveformConfig {
+        WaveformConfig::paper()
+    }
+
+    #[test]
+    fn paper_rates() {
+        let c = cfg();
+        assert_eq!(c.samples_per_chip(), 10.0);
+        assert_eq!(c.chip_duration_s(), 1e-5);
+    }
+
+    #[test]
+    fn render_maps_chips_to_levels() {
+        let chips = vec![Chip::High, Chip::Low];
+        let w = render(&chips, &cfg(), 2.0, 0.0, 25);
+        assert!(w[..10].iter().all(|&x| x == 2.0));
+        assert!(w[10..20].iter().all(|&x| x == -2.0));
+        assert!(w[20..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn render_honors_delay() {
+        let chips = vec![Chip::High];
+        // 5 µs delay = 5 samples at 1 Msps.
+        let w = render(&chips, &cfg(), 1.0, 5e-6, 20);
+        assert!(w[..5].iter().all(|&x| x == 0.0));
+        assert!(w[5..15].iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn mix_superimposes() {
+        let chips = vec![Chip::High];
+        let mut a = render(&chips, &cfg(), 1.0, 0.0, 12);
+        let b = render(&chips, &cfg(), 0.5, 0.0, 12);
+        mix_into(&mut a, &b);
+        assert!((a[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_recovers_clean_chips() {
+        let chips = manchester_encode(&[0x5A, 0xC3]);
+        let w = render(&chips, &cfg(), 0.7, 0.0, chips.len() * 10 + 5);
+        let got = slice_chips(&w, &cfg(), 0, chips.len()).expect("long enough");
+        assert_eq!(got, chips);
+    }
+
+    #[test]
+    fn slice_tolerates_small_misalignment() {
+        let chips = manchester_encode(&[0xF0, 0x0F]);
+        // Start 2 samples late (20 % of a chip): mid-chip averaging holds.
+        let w = render(&chips, &cfg(), 1.0, 2e-6, chips.len() * 10 + 10);
+        let got = slice_chips(&w, &cfg(), 0, chips.len()).expect("long enough");
+        assert_eq!(got, chips);
+    }
+
+    #[test]
+    fn slice_detects_short_stream() {
+        let chips = vec![Chip::High; 4];
+        let w = render(&chips, &cfg(), 1.0, 0.0, 15);
+        assert!(slice_chips(&w, &cfg(), 0, 4).is_none());
+    }
+
+    #[test]
+    fn correlate_finds_pattern_start() {
+        let pattern = manchester_encode(&[0xAA, 0x55]);
+        let delay_samples = 37;
+        let w = render(&pattern, &cfg(), 0.3, delay_samples as f64 * 1e-6, 600);
+        let (start, score) = correlate_pattern(&w, &cfg(), &pattern, 0, 200).expect("found");
+        assert_eq!(start, delay_samples);
+        assert!(score > 0.99, "score {score}");
+    }
+
+    #[test]
+    fn correlate_rejects_too_short_stream() {
+        let pattern = vec![Chip::High; 64];
+        let w = vec![0.0; 10];
+        assert!(correlate_pattern(&w, &cfg(), &pattern, 0, 10).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mix_length_mismatch_panics() {
+        let mut a = vec![0.0; 3];
+        mix_into(&mut a, &[0.0; 4]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Transmitter synchronization for the DenseVLC reproduction.
+//!
+//! CFM-MIMO beamspots only work when the TXs of a beamspot radiate the same
+//! symbol at the same instant. The paper (§6) compares three regimes:
+//!
+//! * **No synchronization** — TXs start when the Ethernet multicast frame
+//!   happens to reach them; median pairwise start error 10.040 µs (Table 4).
+//! * **NTP/PTP** — the controller's clock is NTP-disciplined and PTP aligns
+//!   the TXs' clocks; TXs start at an agreed absolute time, residual error
+//!   4.565 µs. Fundamental limit: the stack runs in user space on an OS.
+//! * **NLOS-VLC** (the paper's contribution) — a leading TX flashes a pilot,
+//!   the floor reflects it, and follower TXs detect it with their
+//!   downward-facing photodiodes and start after a fixed guard period;
+//!   residual error 0.575 µs, set by the follower's 1 Msps sampling phase.
+//!
+//! This crate models all three as stochastic start-offset generators
+//! ([`model`]), implements the pilot-detection physics on top of the
+//! floor-bounce channel ([`nlos`]), and provides the oscilloscope-style
+//! symbol-edge delay measurement used by the paper's Table 4 ([`measure`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod measure;
+pub mod model;
+pub mod nlos;
+
+pub use clock::ClockModel;
+pub use measure::{median_edge_delay, symbol_edges};
+pub use model::SyncScheme;
+pub use nlos::{NlosSyncLink, PilotDetection};

@@ -1,0 +1,55 @@
+//! Property tests for the synchronization substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vlc_sync::{ClockModel, SyncScheme};
+
+proptest! {
+    /// Clock read/true_time_of are inverse for any drift and offset.
+    #[test]
+    fn clock_read_is_invertible(
+        offset in -1.0f64..1.0,
+        drift_ppm in -100.0f64..100.0,
+        t in 0.0f64..1e4,
+    ) {
+        let c = ClockModel { offset_s: offset, drift_ppm, jitter_sigma_s: 0.0 };
+        prop_assert!((c.true_time_of(c.read(t)) - t).abs() < 1e-6);
+    }
+
+    /// NLOS start offsets are always non-negative and bounded by one
+    /// sample period plus a few sigma of detection noise.
+    #[test]
+    fn nlos_offsets_are_bounded(seed in any::<u64>(), rate in 1e3f64..1e6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scheme = SyncScheme::nlos_paper();
+        for _ in 0..32 {
+            let off = scheme.sample_start_offset(rate, &mut rng);
+            prop_assert!(off >= 0.0);
+            prop_assert!(off < 1e-6 + 6.0 * 0.06e-6, "offset {off}");
+        }
+    }
+
+    /// Median pairwise delays are finite, non-negative, and NTP/PTP never
+    /// does worse than sync-off at the same rate (statistically, with a
+    /// generous slack for Monte-Carlo noise).
+    #[test]
+    fn scheme_ordering_is_stable(seed in any::<u64>(), rate in 2e3f64..80e3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let off = SyncScheme::SyncOff.median_pairwise_delay(rate, 801, &mut rng);
+        let ptp = SyncScheme::NtpPtp.median_pairwise_delay(rate, 801, &mut rng);
+        prop_assert!(off.is_finite() && off >= 0.0);
+        prop_assert!(ptp.is_finite() && ptp >= 0.0);
+        prop_assert!(off > ptp * 1.2, "off {off} vs ptp {ptp} at {rate}");
+    }
+
+    /// Disciplining a clock shrinks its offset without touching drift.
+    #[test]
+    fn discipline_preserves_drift(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wild = ClockModel::beaglebone(&mut rng);
+        let tame = wild.disciplined(5e-6, &mut rng);
+        prop_assert_eq!(tame.drift_ppm, wild.drift_ppm);
+        prop_assert!(tame.offset_s.abs() <= 6.0 * 5e-6 + 1e-12);
+    }
+}

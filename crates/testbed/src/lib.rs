@@ -1,0 +1,33 @@
+//! Emulated testbed for the DenseVLC reproduction.
+//!
+//! The paper evaluates on real hardware: 36 TX front-ends hosted by nine
+//! BeagleBone Blacks (four TX PHYs per BBB), four RX front-ends on BBB
+//! Wireless boards, OpenBuilds ACRO positioners to move the receivers, an
+//! HS1010 lux meter, and a RIGOL oscilloscope. None of that exists here, so
+//! this crate provides software stand-ins with the same observable
+//! behaviour (the substitution table lives in `DESIGN.md`):
+//!
+//! * [`devices`] — TX-to-BBB host mapping (TXs on the same BBB share a
+//!   clock and need no over-the-air synchronization — the fact Table 5's
+//!   first row exploits).
+//! * [`scope`] — oscilloscope emulation: renders two TXs' drive waveforms
+//!   at scope rate and measures their median symbol-edge delay.
+//! * [`acro`] — ACRO positioner emulation: waypoint motion for receivers.
+//! * [`luxmeter`] — HS1010 emulation: quantized illuminance readings.
+//! * [`scenario`] — the evaluation geometries: Table 6's three scenarios,
+//!   the Fig. 6 random-instance generator, and the Fig. 7 instance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acro;
+pub mod devices;
+pub mod luxmeter;
+pub mod scenario;
+pub mod scope;
+
+pub use acro::AcroPositioner;
+pub use devices::BbbHostMap;
+pub use luxmeter::LuxMeter;
+pub use scenario::{random_instances, Deployment, Scenario};
+pub use scope::Scope;

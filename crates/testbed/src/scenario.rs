@@ -1,0 +1,272 @@
+//! Evaluation geometries: Table 6's scenarios, the Fig. 6 random instances,
+//! and the Fig. 7 instance.
+//!
+//! The paper evaluates the heuristic in three representative scenarios
+//! (§8.2) whose receiver positions are listed in Table 6, simulates the
+//! optimal policy over 100 random receiver placements around four anchor
+//! TXs (Fig. 6), and illustrates swing levels on one specific instance
+//! (Fig. 7, identical to Scenario 2's positions).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vlc_alloc::model::SystemModel;
+use vlc_channel::{ChannelMatrix, NoiseParams, RxOptics};
+use vlc_geom::{Pose, Room, TxGrid, Vec3};
+
+/// The three §8.2 evaluation scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Interference-free; no dominating TX (2 m inter-RX distance).
+    One,
+    /// With interference; no dominating TX (the Fig. 7 positions).
+    Two,
+    /// With interference; each RX exactly under a TX (1 m spacing).
+    Three,
+}
+
+impl Scenario {
+    /// The Table 6 receiver XY positions for this scenario.
+    pub fn rx_positions(&self) -> [(f64, f64); 4] {
+        match self {
+            Scenario::One => [(0.50, 0.50), (2.50, 0.50), (0.50, 2.50), (2.50, 2.50)],
+            Scenario::Two => [(0.92, 0.92), (1.65, 0.65), (0.72, 1.93), (1.99, 1.69)],
+            Scenario::Three => [(0.75, 0.75), (1.75, 0.75), (0.75, 1.75), (1.75, 1.75)],
+        }
+    }
+
+    /// Human-readable label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::One => "Scenario 1: interference-free, no dominating TX",
+            Scenario::Two => "Scenario 2: interference, no dominating TX",
+            Scenario::Three => "Scenario 3: interference, dominating TX",
+        }
+    }
+}
+
+/// A complete deployment: room, grid, receivers, and the system model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// The room.
+    pub room: Room,
+    /// The ceiling grid.
+    pub grid: TxGrid,
+    /// Receiver poses.
+    pub receivers: Vec<Pose>,
+    /// The assembled system model (channel + devices + noise).
+    pub model: SystemModel,
+    /// Receiver optics used to build the channel.
+    pub optics: RxOptics,
+    /// LED half-power semi-angle in radians.
+    pub half_power_semi_angle: f64,
+}
+
+impl Deployment {
+    /// The §4 simulation setup: 2.8 m ceiling, receivers on a 0.8 m table.
+    pub fn simulation(rx_xy: &[(f64, f64)]) -> Self {
+        Deployment::build(Room::paper_simulation(), rx_xy, 0.8, NoiseParams::paper())
+    }
+
+    /// The §8 testbed: 2 m ceiling, receivers on the floor. The testbed's
+    /// receivers operate above the Table-1 simulation SNR (their SINRs come
+    /// from M2M4 measurements on the real front-end, not from the nominal
+    /// N0); we calibrate the testbed noise density to 0.4 × N0, which
+    /// reproduces the paper's Fig. 21 constellation — D-MISO matched at
+    /// ≈ 1.15 W (paper: 1.19 W) for a ≈ 2.3× power-efficiency gain (see
+    /// `EXPERIMENTS.md`).
+    pub fn testbed(rx_xy: &[(f64, f64)]) -> Self {
+        let noise = NoiseParams {
+            n0_a2_per_hz: 0.4 * 7.02e-23,
+            bandwidth_hz: 1e6,
+        };
+        Deployment::build(Room::paper_testbed(), rx_xy, 0.0, noise)
+    }
+
+    /// A Table 6 scenario on the testbed geometry.
+    pub fn scenario(s: Scenario) -> Self {
+        Deployment::testbed(&s.rx_positions())
+    }
+
+    fn build(room: Room, rx_xy: &[(f64, f64)], rx_height: f64, noise: NoiseParams) -> Self {
+        assert!(!rx_xy.is_empty(), "deployment needs at least one receiver");
+        let grid = TxGrid::paper(&room);
+        let optics = RxOptics::paper();
+        let half_power_semi_angle = 15f64.to_radians();
+        let receivers: Vec<Pose> = rx_xy
+            .iter()
+            .map(|&(x, y)| Pose::face_up(x, y, rx_height))
+            .collect();
+        let channel = ChannelMatrix::compute(&grid, &receivers, half_power_semi_angle, &optics);
+        let mut model = SystemModel::paper(channel);
+        model.noise = noise;
+        Deployment {
+            room,
+            grid,
+            receivers,
+            model,
+            optics,
+            half_power_semi_angle,
+        }
+    }
+
+    /// Recomputes the channel after receivers moved (mobility studies).
+    pub fn update_receivers(&mut self, receivers: Vec<Pose>) {
+        assert_eq!(
+            receivers.len(),
+            self.receivers.len(),
+            "receiver count is fixed"
+        );
+        self.receivers = receivers;
+        self.model.channel = ChannelMatrix::compute(
+            &self.grid,
+            &self.receivers,
+            self.half_power_semi_angle,
+            &self.optics,
+        );
+    }
+
+    /// Receiver XY positions as vectors (for geometric baselines).
+    pub fn rx_positions(&self) -> Vec<Vec3> {
+        self.receivers.iter().map(|p| p.position).collect()
+    }
+}
+
+/// The Fig. 6 anchor TXs (zero-based): the paper scatters 100 random RX
+/// placements around the TXs nearest the Fig. 7 receiver positions — TX8,
+/// TX10, TX20 and TX22 — which is what makes TX10 "the best channel to RX2"
+/// in the Fig. 10 analysis.
+pub const INSTANCE_ANCHORS: [usize; 4] = [7, 9, 19, 21];
+
+/// Generates `n` random instances of four receiver positions, each drawn
+/// uniformly within `radius` (in XY) of its anchor TX, reproducing Fig. 6.
+pub fn random_instances<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> Vec<[(f64, f64); 4]> {
+    assert!(radius > 0.0, "radius must be positive");
+    let room = Room::paper_simulation();
+    let grid = TxGrid::paper(&room);
+    (0..n)
+        .map(|_| {
+            let mut out = [(0.0, 0.0); 4];
+            for (slot, &anchor) in out.iter_mut().zip(INSTANCE_ANCHORS.iter()) {
+                let c = grid.pose(anchor).position;
+                // Uniform in a disc via rejection sampling.
+                let (dx, dy) = loop {
+                    let dx = rng.gen_range(-radius..radius);
+                    let dy = rng.gen_range(-radius..radius);
+                    if dx * dx + dy * dy <= radius * radius {
+                        break (dx, dy);
+                    }
+                };
+                let p = room.clamp_xy(Vec3::new(c.x + dx, c.y + dy, 0.0));
+                *slot = (p.x, p.y);
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table6_positions_match_paper() {
+        assert_eq!(Scenario::Two.rx_positions()[0], (0.92, 0.92));
+        assert_eq!(Scenario::Three.rx_positions()[3], (1.75, 1.75));
+        assert_eq!(Scenario::One.rx_positions()[1], (2.50, 0.50));
+    }
+
+    #[test]
+    fn scenario_one_has_negligible_interference() {
+        // 2 m inter-RX spacing with 15° beams: assigning any TX to one RX
+        // leaks almost nothing to the others.
+        let d = Deployment::scenario(Scenario::One);
+        let ch = &d.model.channel;
+        for rx in 0..4 {
+            let own = ch.gain(ch.best_tx_for(rx), rx);
+            for other in 0..4 {
+                if other == rx {
+                    continue;
+                }
+                let leak = ch.gain(ch.best_tx_for(rx), other);
+                assert!(leak < own * 1e-2, "RX{} leaks into RX{}", rx + 1, other + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_three_rxs_sit_under_txs() {
+        let d = Deployment::scenario(Scenario::Three);
+        for rx in &d.receivers {
+            let nearest = d.grid.nearest(rx.position);
+            let dist = d
+                .grid
+                .pose(nearest)
+                .position
+                .horizontal_distance(rx.position);
+            assert!(dist < 1e-9, "RX not under a TX (distance {dist})");
+        }
+    }
+
+    #[test]
+    fn simulation_and_testbed_geometries_differ() {
+        let sim = Deployment::simulation(&Scenario::Two.rx_positions());
+        let tb = Deployment::scenario(Scenario::Two);
+        assert_eq!(sim.room.height, 2.8);
+        assert_eq!(tb.room.height, 2.0);
+        assert_eq!(sim.receivers[0].position.z, 0.8);
+        assert_eq!(tb.receivers[0].position.z, 0.0);
+    }
+
+    #[test]
+    fn random_instances_stay_near_anchors() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let room = Room::paper_simulation();
+        let grid = TxGrid::paper(&room);
+        let instances = random_instances(100, 0.4, &mut rng);
+        assert_eq!(instances.len(), 100);
+        for inst in &instances {
+            for (k, &(x, y)) in inst.iter().enumerate() {
+                let anchor = grid.pose(INSTANCE_ANCHORS[k]).position;
+                let d = anchor.horizontal_distance(Vec3::new(x, y, 0.0));
+                assert!(d <= 0.4 + 1e-9, "instance point {d} m from anchor");
+            }
+        }
+    }
+
+    #[test]
+    fn random_instances_are_diverse() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let instances = random_instances(50, 0.4, &mut rng);
+        let first = instances[0];
+        assert!(
+            instances.iter().skip(1).any(|i| *i != first),
+            "instances are identical"
+        );
+    }
+
+    #[test]
+    fn update_receivers_recomputes_channel() {
+        let mut d = Deployment::scenario(Scenario::One);
+        let before = d.model.channel.clone();
+        let moved: Vec<Pose> = d
+            .receivers
+            .iter()
+            .map(|p| Pose::face_up(p.position.x + 0.3, p.position.y, p.position.z))
+            .collect();
+        d.update_receivers(moved);
+        assert_ne!(before, d.model.channel);
+    }
+
+    #[test]
+    #[should_panic(expected = "receiver count")]
+    fn update_with_wrong_count_panics() {
+        let mut d = Deployment::scenario(Scenario::One);
+        d.update_receivers(vec![Pose::face_up(1.0, 1.0, 0.0)]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the emulated testbed hardware.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vlc_geom::{Room, Vec3};
+use vlc_testbed::{random_instances, AcroPositioner, BbbHostMap, Scenario};
+
+proptest! {
+    /// The gantry never leaves its workspace and never overshoots the
+    /// distance budget `speed × dt`.
+    #[test]
+    fn acro_respects_speed_and_workspace(
+        sx in 0.0f64..3.0, sy in 0.0f64..3.0,
+        tx in -1.0f64..4.0, ty in -1.0f64..4.0,
+        speed in 0.01f64..2.0, dt in 0.0f64..10.0,
+    ) {
+        let room = Room::paper_testbed();
+        let mut g = AcroPositioner::new(Vec3::new(sx, sy, 0.0), speed, room);
+        let start = g.position;
+        g.queue(Vec3::new(tx, ty, 0.0));
+        let end = g.advance(dt);
+        prop_assert!(room.contains(Vec3::new(end.x, end.y, 0.0)));
+        prop_assert!(start.distance(end) <= speed * dt + 1e-9);
+    }
+
+    /// Every TX maps to exactly one BBB host, and hosts partition the grid
+    /// into equal 2×2 blocks, for any even grid size.
+    #[test]
+    fn host_map_partitions_any_even_grid(cols in 1usize..6, rows in 1usize..6) {
+        let (cols, rows) = (cols * 2, rows * 2);
+        let map = BbbHostMap::new(cols, rows);
+        let mut counts = vec![0usize; map.n_hosts()];
+        for tx in 0..cols * rows {
+            counts[map.host_of(tx)] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c == 4));
+    }
+
+    /// Random instances always stay inside the room and near their anchors.
+    #[test]
+    fn instances_stay_in_bounds(seed in any::<u64>(), radius in 0.05f64..0.6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let room = Room::paper_simulation();
+        for inst in random_instances(5, radius, &mut rng) {
+            for (x, y) in inst {
+                prop_assert!(room.contains(Vec3::new(x, y, 0.0)));
+            }
+        }
+    }
+}
+
+#[test]
+fn scenarios_build_valid_deployments() {
+    use vlc_testbed::Deployment;
+    for s in [Scenario::One, Scenario::Two, Scenario::Three] {
+        let d = Deployment::scenario(s);
+        assert_eq!(d.grid.len(), 36);
+        assert_eq!(d.receivers.len(), 4);
+        // Every receiver has at least one usable channel.
+        for rx in 0..4 {
+            assert!(d.model.channel.gain(d.model.channel.best_tx_for(rx), rx) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! `densevlc-cli` — drive the DenseVLC reproduction from the command line.
+//!
+//! ```text
+//! densevlc-cli adapt   [--scenario 1|2|3] [--budget W]   one adaptation round
+//! densevlc-cli map     [--scenario 1|2|3] [--budget W]   ASCII beamspot floor plan
+//! densevlc-cli lux     [--sim|--testbed]                 illuminance check
+//! densevlc-cli sync                                      Table-4 measurement
+//! densevlc-cli iperf   [--frames N]                      Table-5 experiment
+//! densevlc-cli faceoff [--scenario 1|2|3]                Fig-21 comparison
+//! densevlc-cli help
+//! ```
+//!
+//! Argument parsing is std-only on purpose: the reproduction's dependency
+//! set stays at the approved crates.
+
+use densevlc::experiments::{fig05_illuminance, fig21_baselines, tab04_sync_error, tab05_iperf};
+use densevlc::System;
+use vlc_led::LedParams;
+use vlc_testbed::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "adapt" => adapt(&args[1..]),
+        "map" => map(&args[1..]),
+        "lux" => lux(),
+        "sync" => sync(),
+        "iperf" => iperf(&args[1..]),
+        "faceoff" => faceoff(&args[1..]),
+        "help" | "--help" | "-h" => help(),
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            help();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn scenario_arg(args: &[String]) -> Scenario {
+    match flag_value(args, "--scenario").as_deref() {
+        Some("1") => Scenario::One,
+        Some("3") => Scenario::Three,
+        Some("2") | None => Scenario::Two,
+        Some(other) => {
+            eprintln!("unknown scenario `{other}` (expected 1, 2 or 3)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn adapt(args: &[String]) {
+    let scenario = scenario_arg(args);
+    let budget: f64 = flag_value(args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.2);
+    let mut system = System::scenario(scenario, budget);
+    let round = system.adapt();
+    println!("{} @ {budget} W", scenario.label());
+    for spot in &round.plan.beamspots {
+        let txs: Vec<String> = spot
+            .txs
+            .iter()
+            .map(|&t| system.deployment.grid.label(t))
+            .collect();
+        println!(
+            "  RX{} <- [{}] leader {} ({:.2} Mb/s)",
+            spot.rx + 1,
+            txs.join(", "),
+            system.deployment.grid.label(spot.leader),
+            round.per_rx_bps[spot.rx] / 1e6
+        );
+    }
+    println!(
+        "system: {:.2} Mb/s at {:.3} W",
+        round.system_throughput_bps / 1e6,
+        round.power_w
+    );
+}
+
+/// Renders the ceiling grid with per-TX beamspot membership and the
+/// receiver positions as an ASCII floor plan.
+fn map(args: &[String]) {
+    let scenario = scenario_arg(args);
+    let budget: f64 = flag_value(args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.2);
+    let mut system = System::scenario(scenario, budget);
+    let round = system.adapt();
+    let grid = &system.deployment.grid;
+
+    // Per-TX glyph: the digit of the served RX, or '.' for illumination.
+    let mut glyph = vec!['.'; grid.len()];
+    for spot in &round.plan.beamspots {
+        for &tx in &spot.txs {
+            glyph[tx] = char::from_digit(spot.rx as u32 + 1, 10).unwrap_or('?');
+        }
+    }
+    println!(
+        "{} @ {budget} W — ceiling view (y grows upward)",
+        scenario.label()
+    );
+    println!("TX glyphs: digit = serving that RX, . = illumination only; rN = receiver\n");
+    // Rows top-down: row 5 (max y) first.
+    for row in (0..grid.rows).rev() {
+        print!("  y={:.2} ", grid.pose(row * grid.cols).position.y);
+        for col in 0..grid.cols {
+            print!("  {} ", glyph[row * grid.cols + col]);
+        }
+        println!();
+        // Receivers whose y falls between this row and the next.
+        let y_hi = grid.pose(row * grid.cols).position.y + grid.pitch / 2.0;
+        let y_lo = y_hi - grid.pitch;
+        let mut markers = String::new();
+        for (i, rx) in system.deployment.receivers.iter().enumerate() {
+            let p = rx.position;
+            if p.y < y_hi && p.y >= y_lo {
+                markers.push_str(&format!("  r{} at ({:.2}, {:.2})", i + 1, p.x, p.y));
+            }
+        }
+        if !markers.is_empty() {
+            println!("         ^{markers}");
+        }
+    }
+    println!(
+        "\nsystem: {:.2} Mb/s at {:.3} W across {} beamspots",
+        round.system_throughput_bps / 1e6,
+        round.power_w,
+        round.plan.beamspots.len()
+    );
+}
+
+fn lux() {
+    print!(
+        "{}",
+        fig05_illuminance::run(&LedParams::cree_xte_paper(), 0x10).report()
+    );
+}
+
+fn sync() {
+    print!("{}", tab04_sync_error::run(150, 0x11).report());
+}
+
+fn iperf(args: &[String]) {
+    let frames: usize = flag_value(args, "--frames")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    print!("{}", tab05_iperf::run(frames, 0x12).report());
+}
+
+fn faceoff(args: &[String]) {
+    print!("{}", fig21_baselines::run(scenario_arg(args)).report());
+}
+
+fn help() {
+    println!(
+        "densevlc-cli — DenseVLC (CoNEXT '18) reproduction\n\n\
+         USAGE:\n  densevlc-cli <command> [options]\n\n\
+         COMMANDS:\n  \
+         adapt   [--scenario 1|2|3] [--budget W]  run one adaptation round\n  \
+         map     [--scenario 1|2|3] [--budget W]  ASCII floor plan of beamspots\n  \
+         lux                                      illuminance / ISO 8995-1 check\n  \
+         sync                                     Table-4 sync-error measurement\n  \
+         iperf   [--frames N]                     Table-5 end-to-end experiment\n  \
+         faceoff [--scenario 1|2|3]               Fig-21 SISO/D-MISO comparison\n  \
+         help                                     this text\n\n\
+         Full per-figure binaries live in the vlc-bench crate:\n  \
+         cargo run --release -p vlc-bench --bin run_all"
+    );
+}

@@ -1,0 +1,11 @@
+//! Root package of the DenseVLC reproduction workspace.
+//!
+//! This crate exists to host the runnable examples under `examples/` and
+//! the cross-crate integration tests under `tests/`. The library itself is
+//! a thin re-export of the [`densevlc`] facade; depend on `densevlc`
+//! directly for real use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use densevlc::*;

@@ -1,0 +1,127 @@
+//! Property tests for the DSP substrate: FFT, OFDM modem, analog
+//! front-end stability, and waveform tooling — the pieces every
+//! symbol-level result rests on.
+
+use proptest::prelude::*;
+use vlc_phy::fft::{fft, ifft, Complex};
+use vlc_phy::frontend::{AcCoupler, Butterworth7, FrontEnd};
+use vlc_phy::manchester::{manchester_encode, Chip};
+use vlc_phy::ofdm::{OfdmModem, QamOrder};
+use vlc_phy::waveform::{render, slice_chips, WaveformConfig};
+
+fn arb_complex_vec(log2_len: std::ops::Range<u32>) -> impl Strategy<Value = Vec<Complex>> {
+    log2_len.prop_flat_map(|bits| {
+        let n = 1usize << bits;
+        proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), n)
+            .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FFT followed by IFFT is the identity for arbitrary inputs and all
+    /// power-of-two sizes.
+    #[test]
+    fn fft_ifft_identity(data in arb_complex_vec(1..9)) {
+        let mut x = data.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(&data) {
+            prop_assert!((*a - *b).abs() < 1e-6, "round-trip drift");
+        }
+    }
+
+    /// Parseval: the FFT preserves energy (up to the 1/N convention).
+    #[test]
+    fn fft_preserves_energy(data in arb_complex_vec(2..8)) {
+        let n = data.len() as f64;
+        let time: f64 = data.iter().map(|v| v.norm_sq()).sum();
+        let mut spec = data;
+        fft(&mut spec);
+        let freq: f64 = spec.iter().map(|v| v.norm_sq()).sum::<f64>() / n;
+        prop_assert!((time - freq).abs() <= 1e-6 * time.max(1.0));
+    }
+
+    /// The OFDM modem round-trips arbitrary whole-symbol payloads for both
+    /// constellations on a clean channel.
+    #[test]
+    fn ofdm_roundtrip(
+        seed_bits in proptest::collection::vec(any::<bool>(), 0..4),
+        n_syms in 1usize..5,
+        qam16 in any::<bool>(),
+    ) {
+        let order = if qam16 { QamOrder::Qam16 } else { QamOrder::Qam4 };
+        let modem = OfdmModem { order, ..OfdmModem::vlc_default() };
+        let bps = modem.bits_per_ofdm_symbol();
+        // Deterministic filler derived from the seed bits.
+        let bits: Vec<bool> = (0..n_syms * bps)
+            .map(|i| seed_bits.get(i % seed_bits.len().max(1)).copied().unwrap_or(false) ^ (i % 3 == 0))
+            .collect();
+        let samples = modem.modulate(&bits).expect("whole symbols");
+        prop_assert_eq!(samples.len(), n_syms * modem.samples_per_symbol());
+        let decoded = modem.demodulate(&samples, 1.0).expect("aligned");
+        prop_assert_eq!(decoded, bits);
+    }
+
+    /// OFDM waveforms always respect the intensity constraints regardless
+    /// of payload: non-negative and within twice the bias.
+    #[test]
+    fn ofdm_waveform_stays_in_the_led_range(
+        n_syms in 1usize..6,
+        flip in any::<u64>(),
+    ) {
+        let modem = OfdmModem::vlc_default();
+        let bps = modem.bits_per_ofdm_symbol();
+        let bits: Vec<bool> =
+            (0..n_syms * bps).map(|i| (flip >> (i % 64)) & 1 == 1).collect();
+        let samples = modem.modulate(&bits).expect("whole symbols");
+        for &s in &samples {
+            prop_assert!((0.0..=2.0).contains(&s), "intensity {s} out of range");
+        }
+    }
+
+    /// The analog front-end is BIBO stable: bounded photocurrent inputs
+    /// never produce unbounded (or non-finite) outputs.
+    #[test]
+    fn frontend_is_bibo_stable(
+        input in proptest::collection::vec(-1e-3f64..1e-3, 64..512),
+    ) {
+        let fe = FrontEnd::paper();
+        let mut s = input;
+        fe.process(&mut s);
+        for &v in &s {
+            prop_assert!(v.is_finite());
+            prop_assert!(v.abs() <= fe.adc.full_scale + 1e-9, "output {v} beyond ADC range");
+        }
+    }
+
+    /// Each filter stage alone maps finite input to finite output.
+    #[test]
+    fn filters_never_produce_nan(
+        input in proptest::collection::vec(-1e3f64..1e3, 32..256),
+    ) {
+        let mut a = input.clone();
+        AcCoupler::paper().process(&mut a);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+        let mut b = input;
+        Butterworth7::paper().process(&mut b);
+        prop_assert!(b.iter().all(|v| v.is_finite()));
+    }
+
+    /// Rendering then slicing recovers any chip stream, for any byte
+    /// payload and positive amplitude.
+    #[test]
+    fn render_slice_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 1..32),
+        amp_exp in -8i32..0,
+    ) {
+        let cfg = WaveformConfig::paper();
+        let chips = manchester_encode(&payload);
+        let amp = 10f64.powi(amp_exp);
+        let w = render(&chips, &cfg, amp, 0.0, chips.len() * 10 + 4);
+        let got: Vec<Chip> =
+            slice_chips(&w, &cfg, 0, chips.len()).expect("stream long enough");
+        prop_assert_eq!(got, chips);
+    }
+}
