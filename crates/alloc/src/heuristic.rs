@@ -12,6 +12,7 @@ use crate::model::Allocation;
 use serde::{Deserialize, Serialize};
 use vlc_channel::ChannelMatrix;
 use vlc_led::{power::dynamic_resistance, LedParams};
+use vlc_telemetry::Registry;
 
 /// Configuration of the ranking heuristic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -186,15 +187,44 @@ pub fn heuristic_allocation(
     budget_w: f64,
     config: &HeuristicConfig,
 ) -> Allocation {
+    heuristic_allocation_instrumented(channel, led, budget_w, config, &Registry::noop())
+}
+
+/// [`heuristic_allocation`] with telemetry: wall-time into the
+/// `alloc.heuristic.solve_s` histogram (Fig. 11's cheap side), the number of
+/// scored (TX, RX) candidates into `alloc.heuristic.candidates`, and — when
+/// the budget activates no TX at all — an `alloc.heuristic.infeasible`
+/// count plus an `infeasible_round` event.
+pub fn heuristic_allocation_instrumented(
+    channel: &ChannelMatrix,
+    led: &LedParams,
+    budget_w: f64,
+    config: &HeuristicConfig,
+    telemetry: &Registry,
+) -> Allocation {
+    let _solve_span = telemetry.span("alloc.heuristic.solve_s");
+    telemetry.counter("alloc.heuristic.solves").inc();
+    telemetry
+        .counter("alloc.heuristic.candidates")
+        .add((channel.n_tx() * channel.n_rx()) as u64);
     let ranking = rank_by_sjr(channel, config);
-    allocate_by_ranking(
+    let alloc = allocate_by_ranking(
         &ranking,
         channel.n_tx(),
         channel.n_rx(),
         led,
         budget_w,
         config,
-    )
+    );
+    if alloc.active_tx_count() == 0 {
+        telemetry.counter("alloc.heuristic.infeasible").inc();
+        telemetry.event(
+            "alloc.heuristic",
+            "infeasible_round",
+            &[("budget_w", &format!("{budget_w}"))],
+        );
+    }
+    alloc
 }
 
 /// An allocation that activates exactly the first `k` ranked TXs at full
@@ -325,6 +355,54 @@ mod tests {
         let led = LedParams::cree_xte_paper();
         let alloc = heuristic_allocation(&ch, &led, 0.0, &HeuristicConfig::paper());
         assert_eq!(alloc.active_tx_count(), 0);
+    }
+
+    #[test]
+    fn infeasible_budget_is_counted_and_evented() {
+        let ch = scenario2_channel();
+        let led = LedParams::cree_xte_paper();
+        let telemetry = Registry::new();
+        let alloc = heuristic_allocation_instrumented(
+            &ch,
+            &led,
+            0.0,
+            &HeuristicConfig::paper(),
+            &telemetry,
+        );
+        assert_eq!(alloc.active_tx_count(), 0);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("alloc.heuristic.infeasible"), Some(1));
+        let event = snap
+            .events_of_kind("infeasible_round")
+            .next()
+            .expect("infeasible event recorded");
+        assert_eq!(event.target, "alloc.heuristic");
+        assert!(event
+            .fields
+            .iter()
+            .any(|(k, v)| k == "budget_w" && v == "0"));
+    }
+
+    #[test]
+    fn feasible_budget_raises_no_infeasible_signal() {
+        let ch = scenario2_channel();
+        let led = LedParams::cree_xte_paper();
+        let telemetry = Registry::new();
+        let alloc = heuristic_allocation_instrumented(
+            &ch,
+            &led,
+            1.0,
+            &HeuristicConfig::paper(),
+            &telemetry,
+        );
+        assert!(alloc.active_tx_count() > 0);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("alloc.heuristic.infeasible"), None);
+        assert_eq!(snap.events_of_kind("infeasible_round").count(), 0);
+        assert_eq!(snap.counter("alloc.heuristic.solves"), Some(1));
+        assert!(snap
+            .histogram("alloc.heuristic.solve_s")
+            .is_some_and(|h| h.count == 1));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::model::{Allocation, SystemModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use vlc_telemetry::Registry;
 
 /// Solver configuration.
 ///
@@ -88,7 +89,24 @@ impl OptimalSolver {
     /// Panics if `budget_w` is non-positive (a zero budget admits only the
     /// all-zero allocation, whose objective is −∞).
     pub fn solve(&self, model: &SystemModel, budget_w: f64) -> SolveReport {
+        self.solve_instrumented(model, budget_w, &Registry::noop())
+    }
+
+    /// [`Self::solve`] with telemetry: wall-time into the
+    /// `alloc.optimal.solve_s` histogram, plus `alloc.optimal.solves`,
+    /// `.iterations`, `.starts`, and `.obj_evals` counters — the cost side
+    /// of the paper's Fig. 11 optimal-vs-heuristic comparison. An
+    /// all-zero result (no TX activated) counts as `alloc.optimal.infeasible`
+    /// and emits an `infeasible_round` event.
+    pub fn solve_instrumented(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        telemetry: &Registry,
+    ) -> SolveReport {
         assert!(budget_w > 0.0, "power budget must be positive");
+        let _solve_span = telemetry.span("alloc.optimal.solve_s");
+        telemetry.counter("alloc.optimal.solves").inc();
         let n_tx = model.n_tx();
         let n_rx = model.n_rx();
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -131,10 +149,15 @@ impl OptimalSolver {
 
         let mut best: Option<(Allocation, f64)> = None;
         let mut total_iters = 0;
+        let mut obj_evals = starts.len(); // one initial evaluation per start
+        telemetry
+            .counter("alloc.optimal.starts")
+            .add(starts.len() as u64);
         for mut start in starts {
             self.project(model, &mut start, budget_w);
-            let (alloc, obj, iters) = self.ascend(model, start, budget_w);
+            let (alloc, obj, iters, evals) = self.ascend(model, start, budget_w);
             total_iters += iters;
+            obj_evals += evals;
             let better = match &best {
                 None => obj.is_finite(),
                 Some((_, b)) => obj > *b,
@@ -143,8 +166,35 @@ impl OptimalSolver {
                 best = Some((alloc, obj));
             }
         }
-        let (allocation, objective) = best.expect("at least one start yields a finite objective");
+        let (allocation, objective) = match best {
+            Some(found) => found,
+            None => {
+                // Record the infeasibility before unwinding so a monitoring
+                // registry keeps the evidence.
+                telemetry.counter("alloc.optimal.infeasible").inc();
+                telemetry.event(
+                    "alloc.optimal",
+                    "infeasible_round",
+                    &[("budget_w", &format!("{budget_w}"))],
+                );
+                panic!("no start yields a finite objective at {budget_w} W");
+            }
+        };
         let power_w = model.comm_power(&allocation);
+        telemetry
+            .counter("alloc.optimal.iterations")
+            .add(total_iters as u64);
+        telemetry
+            .counter("alloc.optimal.obj_evals")
+            .add(obj_evals as u64);
+        if allocation.active_tx_count() == 0 {
+            telemetry.counter("alloc.optimal.infeasible").inc();
+            telemetry.event(
+                "alloc.optimal",
+                "infeasible_round",
+                &[("budget_w", &format!("{budget_w}"))],
+            );
+        }
         SolveReport {
             allocation,
             objective,
@@ -171,16 +221,19 @@ impl OptimalSolver {
         a
     }
 
-    /// Projected gradient ascent with backtracking line search.
+    /// Projected gradient ascent with backtracking line search. Returns the
+    /// final point, its objective, the iteration count, and the number of
+    /// objective evaluations spent (the dominant cost term).
     fn ascend(
         &self,
         model: &SystemModel,
         mut x: Allocation,
         budget_w: f64,
-    ) -> (Allocation, f64, usize) {
+    ) -> (Allocation, f64, usize, usize) {
         let mut f = model.sum_log_throughput(&x);
         let mut step = 0.1 * model.led.max_swing;
         let mut iters = 0;
+        let mut evals = 1;
         for _ in 0..self.max_iters {
             iters += 1;
             let grad = self.gradient(model, &x);
@@ -199,6 +252,7 @@ impl OptimalSolver {
                 }
                 self.project(model, &mut cand, budget_w);
                 let fc = model.sum_log_throughput(&cand);
+                evals += 1;
                 if fc > f {
                     let rel = (fc - f) / f.abs().max(1e-12);
                     x = cand;
@@ -207,7 +261,7 @@ impl OptimalSolver {
                     // Grow the step again after a success.
                     step = (local_step * 1.5).min(model.led.max_swing);
                     if rel < self.tol {
-                        return (x, f, iters);
+                        return (x, f, iters, evals);
                     }
                     break;
                 }
@@ -217,7 +271,7 @@ impl OptimalSolver {
                 break;
             }
         }
-        (x, f, iters)
+        (x, f, iters, evals)
     }
 
     /// Analytic gradient of `Σ_i ln(B·log2(1+SINR_i))` with respect to each
@@ -412,6 +466,55 @@ mod tests {
             report.objective,
             obj_h
         );
+    }
+
+    #[test]
+    fn infeasible_model_is_counted_and_evented_before_unwinding() {
+        // A dead channel (every gain zero) starves every receiver: no start
+        // can produce a finite objective, so the solver records the
+        // infeasibility and panics.
+        let m = SystemModel::paper(ChannelMatrix::from_gains(4, 2, vec![0.0; 8]));
+        let telemetry = Registry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            OptimalSolver::quick().solve_instrumented(&m, 0.5, &telemetry)
+        }));
+        assert!(result.is_err(), "dead channel must not yield a solution");
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("alloc.optimal.infeasible"), Some(1));
+        let event = snap
+            .events_of_kind("infeasible_round")
+            .next()
+            .expect("infeasible event recorded");
+        assert_eq!(event.target, "alloc.optimal");
+        assert!(event
+            .fields
+            .iter()
+            .any(|(k, v)| k == "budget_w" && v == "0.5"));
+    }
+
+    #[test]
+    fn feasible_solve_records_work_but_no_infeasible_signal() {
+        let m = two_rx_model();
+        let telemetry = Registry::new();
+        let report = OptimalSolver::quick().solve_instrumented(&m, 0.4, &telemetry);
+        assert!(report.allocation.active_tx_count() > 0);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("alloc.optimal.infeasible"), None);
+        assert_eq!(snap.events_of_kind("infeasible_round").count(), 0);
+        assert_eq!(snap.counter("alloc.optimal.solves"), Some(1));
+        assert_eq!(
+            snap.counter("alloc.optimal.iterations"),
+            Some(report.iterations as u64)
+        );
+        // Every start costs one initial evaluation, plus at least one per
+        // ascent iteration.
+        let evals = snap.counter("alloc.optimal.obj_evals").expect("obj evals");
+        let starts = snap.counter("alloc.optimal.starts").expect("starts");
+        assert!(starts >= 1);
+        assert!(evals >= starts + report.iterations as u64);
+        assert!(snap
+            .histogram("alloc.optimal.solve_s")
+            .is_some_and(|h| h.count == 1 && h.max > 0.0));
     }
 
     #[test]

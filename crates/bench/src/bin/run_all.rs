@@ -49,6 +49,12 @@ fn main() {
         "{}",
         ext_adaptation::run(&[0.5, 2.0], &[0.07, 2.0], 0xADA7).report()
     );
-    println!("{}", ext_concurrent::run(Scenario::Two, 1.2, 15, 0xC0C).report());
-    println!("{}", ext_arq::run_study(&[1.0, 0.05, 0.04], 20, 0xA2).report());
+    println!(
+        "{}",
+        ext_concurrent::run(Scenario::Two, 1.2, 15, 0xC0C).report()
+    );
+    println!(
+        "{}",
+        ext_arq::run_study(&[1.0, 0.05, 0.04], 20, 0xA2).report()
+    );
 }

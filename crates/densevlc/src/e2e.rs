@@ -26,6 +26,7 @@ use vlc_phy::manchester::{manchester_decode, manchester_encode, Chip};
 use vlc_phy::rs::ReedSolomon;
 use vlc_phy::waveform::{correlate_pattern, mix_into, render, slice_chips, WaveformConfig};
 use vlc_sync::SyncScheme;
+use vlc_telemetry::Registry;
 
 /// The preamble byte pattern (chips alternate at the chip rate, ideal for
 /// correlation locking).
@@ -98,6 +99,26 @@ pub fn run(
     frames: usize,
     seed: u64,
 ) -> E2eResult {
+    run_instrumented(txs, scheme, cfg, frames, seed, &Registry::noop())
+}
+
+/// [`run`] with telemetry: frame encode/decode counters flow through the
+/// instrumented PHY codec (`phy.frames_encoded`, `phy.frames_decoded`,
+/// `phy.rs_symbols_corrected`, `phy.rs_uncorrectable`,
+/// `phy.frame_sync_errors`); failures to even reach the decoder count into
+/// `phy.preamble_misses` (correlator never locks) or `phy.frame_sync_errors`
+/// (chip slicing / Manchester decoding breaks); decodes whose payload does
+/// not match the transmitted one count into `phy.frames_bad_payload`; and
+/// each sliced frame's raw chip error fraction (sliced vs. transmitted MAC
+/// chips, before FEC) lands in the `phy.ber` histogram.
+pub fn run_instrumented(
+    txs: &[E2eTx],
+    scheme: &SyncScheme,
+    cfg: &E2eConfig,
+    frames: usize,
+    seed: u64,
+    telemetry: &Registry,
+) -> E2eResult {
     assert!(!txs.is_empty(), "need at least one transmitter");
     assert!(frames > 0, "need at least one frame");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -156,7 +177,7 @@ pub fn run(
             },
             payload.clone(),
         );
-        let bytes = frame.to_bytes(&rs);
+        let bytes = frame.to_bytes_instrumented(&rs, telemetry);
         let mut chips: Vec<Chip> = preamble_chips.clone();
         chips.extend(manchester_encode(&bytes));
         let spc = wave_cfg.samples_per_chip();
@@ -204,26 +225,43 @@ pub fn run(
         let Some((start, score)) =
             correlate_pattern(&photocurrent, &wave_cfg, &preamble_chips, 0, 3 * guard)
         else {
+            telemetry.counter("phy.preamble_misses").inc();
             continue;
         };
         if score < 0.5 {
+            telemetry.counter("phy.preamble_misses").inc();
             continue;
         }
         // Slice the MAC portion after the preamble.
         let mac_start = start + (preamble_chips.len() as f64 * spc).round() as usize;
         let n_mac_chips = bytes.len() * 16;
         let Some(mac_chips) = slice_chips(&photocurrent, &wave_cfg, mac_start, n_mac_chips) else {
+            telemetry.counter("phy.frame_sync_errors").inc();
             continue;
         };
+        // Raw (pre-FEC) chip error rate: sliced chips vs. what was sent.
+        let sent_chips = &chips[preamble_chips.len()..];
+        let chip_errors = mac_chips
+            .iter()
+            .zip(sent_chips)
+            .filter(|(got, sent)| got != sent)
+            .count();
+        telemetry
+            .histogram("phy.ber")
+            .record(chip_errors as f64 / sent_chips.len().max(1) as f64);
         let Some(decoded_bytes) = manchester_decode(&mac_chips) else {
+            telemetry.counter("phy.frame_sync_errors").inc();
             continue;
         };
-        match Frame::from_bytes(&decoded_bytes, &rs) {
+        match Frame::from_bytes_instrumented(&decoded_bytes, &rs, telemetry) {
             Ok((decoded, fixed)) if decoded.payload == payload => {
                 frames_ok += 1;
                 rs_corrections += fixed;
             }
-            _ => {}
+            Ok(_) => {
+                telemetry.counter("phy.frames_bad_payload").inc();
+            }
+            Err(_) => {}
         }
         let _ = seq;
     }
@@ -667,7 +705,10 @@ mod tests {
         // must recover most payloads at the price of extra attempts.
         let (gains, hosts) = table5_setup();
         let txs = vec![E2eTx {
-            gain: gains[7] * 0.045,
+            // 0.040 puts the link on the PER cliff for the vendored RNG
+            // stream (the upstream crates used 0.045; the xoshiro-based
+            // stand-in draws a different noise sequence).
+            gain: gains[7] * 0.040,
             host: hosts.host_of(7),
         }];
         let cfg = E2eConfig::default();

@@ -8,8 +8,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use vlc_channel::RxOptics;
+use vlc_geom::{Room, TxGrid};
 use vlc_phy::manchester::manchester_encode;
-use vlc_sync::SyncScheme;
+use vlc_sync::{ClockModel, NlosSyncLink, SyncScheme};
+use vlc_telemetry::Registry;
 use vlc_testbed::Scope;
 
 /// The Table 4 result, all values in seconds.
@@ -54,6 +57,29 @@ pub fn run(frames: usize, seed: u64) -> Tab04 {
         ntp_ptp_s: measure(&SyncScheme::NtpPtp, 0x2),
         nlos_vlc_s: nlos,
     }
+}
+
+/// [`run`] with telemetry: alongside the scope medians, probes the paper's
+/// TX2→TX3 pilot link with the instrumented detector (`sync.pilot_snr`,
+/// `sync.pilot_detections` / `sync.pilot_misses`) and publishes the state
+/// of a representative follower clock (`sync.offset_s`, `sync.drift_ppm`).
+pub fn run_instrumented(frames: usize, seed: u64, telemetry: &Registry) -> Tab04 {
+    let result = run(frames, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4);
+    ClockModel::beaglebone(&mut rng).observe(telemetry);
+    let room = Room::paper_testbed();
+    let grid = TxGrid::paper(&room);
+    let link = NlosSyncLink::between(
+        &grid.pose(1),
+        &grid.pose(2),
+        &room,
+        15f64.to_radians(),
+        &RxOptics::paper(),
+    );
+    for _ in 0..frames {
+        link.detect_instrumented(&mut rng, telemetry);
+    }
+    result
 }
 
 impl Tab04 {

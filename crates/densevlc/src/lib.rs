@@ -37,6 +37,7 @@ pub mod experiments;
 pub mod sim;
 pub mod system;
 
+pub use sim::{Simulation, Tick, Timeline};
 pub use system::{AdaptationRound, System};
 
 // Re-export the layer crates so downstream users need a single dependency.

@@ -13,6 +13,7 @@ use vlc_alloc::model::SystemModel;
 use vlc_channel::{ChannelMatrix, CylinderBlocker};
 use vlc_geom::Pose;
 use vlc_mac::{BeamspotPlan, Controller, ControllerConfig};
+use vlc_telemetry::{MetricsSnapshot, Registry};
 use vlc_testbed::{AcroPositioner, Deployment};
 
 /// A person walking waypoints while occluding light.
@@ -47,6 +48,10 @@ pub struct Tick {
 pub struct Timeline {
     /// All ticks in time order.
     pub ticks: Vec<Tick>,
+    /// Telemetry snapshot taken at the end of the run, when the run was
+    /// driven through [`Simulation::run_instrumented`] with a live
+    /// registry. `None` for uninstrumented runs.
+    pub telemetry: Option<MetricsSnapshot>,
 }
 
 impl Timeline {
@@ -177,10 +182,23 @@ impl Simulation {
 
     /// Runs for `duration_s`, returning the recorded timeline.
     pub fn run(&mut self, duration_s: f64) -> Timeline {
+        self.run_instrumented(duration_s, &Registry::noop())
+    }
+
+    /// [`Self::run`] with telemetry: every tick is timed under `sim.tick_s`
+    /// and counted into `sim.ticks`; re-plans (forwarded through the
+    /// controller's instrumented phases) count into `mac.replans` and the
+    /// ticks spent serving traffic on a stale plan into
+    /// `mac.stale_plan_ticks`; `sim.blocked_links` and the per-receiver
+    /// `sim.rx{i}.bps` gauges track the latest tick. With a live registry
+    /// the returned [`Timeline`] embeds the end-of-run snapshot.
+    pub fn run_instrumented(&mut self, duration_s: f64, telemetry: &Registry) -> Timeline {
         assert!(duration_s > 0.0, "duration must be positive");
         let steps = (duration_s / self.tick_s).ceil() as usize;
         let mut ticks = Vec::with_capacity(steps);
         for step in 0..steps {
+            let _tick_span = telemetry.span("sim.tick_s");
+            telemetry.counter("sim.ticks").inc();
             let t_s = step as f64 * self.tick_s;
             // Motion.
             let height = self.deployment.receivers[0].position.z;
@@ -206,19 +224,32 @@ impl Simulation {
             self.time_since_replan_s += self.tick_s;
             let mut replanned = false;
             if self.time_since_replan_s >= self.adaptation_period_s || self.plan.is_none() {
-                self.plan = Some(self.controller.plan(&world.channel));
+                self.plan = Some(self.controller.plan_instrumented(&world.channel, telemetry));
                 self.time_since_replan_s = 0.0;
                 replanned = true;
+                telemetry.counter("mac.replans").inc();
+            } else {
+                telemetry.counter("mac.stale_plan_ticks").inc();
             }
+            telemetry
+                .gauge("sim.blocked_links")
+                .set(blocked_links as f64);
             let plan = self.plan.as_ref().expect("plan exists after first tick");
+            let per_rx_bps = world.throughput(&plan.allocation);
+            for (i, &bps) in per_rx_bps.iter().enumerate() {
+                telemetry.gauge(&format!("sim.rx{i}.bps")).set(bps);
+            }
             ticks.push(Tick {
                 t_s,
-                per_rx_bps: world.throughput(&plan.allocation),
+                per_rx_bps,
                 replanned,
                 blocked_links,
             });
         }
-        Timeline { ticks }
+        Timeline {
+            ticks,
+            telemetry: telemetry.is_enabled().then(|| telemetry.snapshot()),
+        }
     }
 }
 

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use vlc_alloc::analysis::SweepPoint;
 use vlc_mac::{BeamspotPlan, Controller, ControllerConfig};
+use vlc_telemetry::Registry;
 use vlc_testbed::{Deployment, Scenario};
 
 /// The outcome of one adaptation round.
@@ -47,14 +48,33 @@ impl System {
     /// Runs one adaptation round on the current (true) channel: the
     /// controller plans beamspots and the model evaluates the result.
     pub fn adapt(&mut self) -> AdaptationRound {
-        let plan = self.controller.plan(&self.deployment.model.channel);
+        self.adapt_instrumented(&Registry::noop())
+    }
+
+    /// [`Self::adapt`] with telemetry: times the full round under
+    /// `sim.adapt_s`, forwards the registry to the controller's planning
+    /// phases, and publishes `sim.system_bps`, `sim.power_w`, and one
+    /// `sim.rx{i}.bps` gauge per receiver.
+    pub fn adapt_instrumented(&mut self, telemetry: &Registry) -> AdaptationRound {
+        let _adapt_span = telemetry.span("sim.adapt_s");
+        let plan = self
+            .controller
+            .plan_instrumented(&self.deployment.model.channel, telemetry);
         let per_rx_bps = self.deployment.model.throughput(&plan.allocation);
-        AdaptationRound {
+        let round = AdaptationRound {
             power_w: self.deployment.model.comm_power(&plan.allocation),
             system_throughput_bps: per_rx_bps.iter().sum(),
             per_rx_bps,
             plan,
+        };
+        telemetry
+            .gauge("sim.system_bps")
+            .set(round.system_throughput_bps);
+        telemetry.gauge("sim.power_w").set(round.power_w);
+        for (i, &bps) in round.per_rx_bps.iter().enumerate() {
+            telemetry.gauge(&format!("sim.rx{i}.bps")).set(bps);
         }
+        round
     }
 
     /// Evaluates the current plan as a sweep point (for curves).

@@ -13,6 +13,7 @@ use vlc_alloc::model::Allocation;
 use vlc_alloc::HeuristicConfig;
 use vlc_channel::ChannelMatrix;
 use vlc_led::LedParams;
+use vlc_telemetry::Registry;
 
 /// One CFM-MIMO beamspot: the TXs jointly serving one receiver.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,6 +104,14 @@ impl Controller {
     /// # Panics
     /// Panics if the report's shape doesn't match the deployment.
     pub fn ingest_report(&mut self, report: ChannelReport) {
+        self.ingest_report_instrumented(report, &Registry::noop());
+    }
+
+    /// [`Self::ingest_report`] with telemetry: ingest time into the
+    /// `mac.ingest_s` histogram and a `mac.reports_ingested` count.
+    pub fn ingest_report_instrumented(&mut self, report: ChannelReport, telemetry: &Registry) {
+        let _ingest_span = telemetry.span("mac.ingest_s");
+        telemetry.counter("mac.reports_ingested").inc();
         assert!(report.rx < self.n_rx, "unknown RX {}", report.rx);
         assert_eq!(
             report.snr_per_tx.len(),
@@ -123,6 +132,17 @@ impl Controller {
     /// Rebuilds the estimated channel matrix from the latest reports.
     /// Unreported receivers contribute zero gains.
     pub fn estimated_channel(&self, amp_per_gain_over_noise: f64) -> ChannelMatrix {
+        self.estimated_channel_instrumented(amp_per_gain_over_noise, &Registry::noop())
+    }
+
+    /// [`Self::estimated_channel`] with telemetry: estimation time into the
+    /// `mac.estimate_s` histogram.
+    pub fn estimated_channel_instrumented(
+        &self,
+        amp_per_gain_over_noise: f64,
+        telemetry: &Registry,
+    ) -> ChannelMatrix {
+        let _estimate_span = telemetry.span("mac.estimate_s");
         let mut gains = vec![0.0; self.n_tx * self.n_rx];
         for (rx, report) in self.reports.iter().enumerate() {
             if let Some(rep) = report {
@@ -142,17 +162,34 @@ impl Controller {
     /// plan (paper §7.2 "Decision logic": `Isw ∈ {0, Isw,max}` per TX based
     /// on the ranking).
     pub fn plan(&self, channel: &ChannelMatrix) -> BeamspotPlan {
+        self.plan_instrumented(channel, &Registry::noop())
+    }
+
+    /// [`Self::plan`] with telemetry: total plan time into the `mac.plan_s`
+    /// histogram with the ranking and allocation phases broken out
+    /// (`mac.rank_s`, `mac.allocate_s`), a `mac.rounds_planned` count, and —
+    /// when the budget serves no receiver — a `mac.infeasible_rounds` count
+    /// plus an `infeasible_round` event.
+    pub fn plan_instrumented(&self, channel: &ChannelMatrix, telemetry: &Registry) -> BeamspotPlan {
         assert_eq!(channel.n_tx(), self.n_tx);
         assert_eq!(channel.n_rx(), self.n_rx);
-        let ranking = rank_by_sjr(channel, &self.config.heuristic);
-        let allocation = allocate_by_ranking(
-            &ranking,
-            self.n_tx,
-            self.n_rx,
-            &self.config.led,
-            self.config.budget_w,
-            &self.config.heuristic,
-        );
+        let _plan_span = telemetry.span("mac.plan_s");
+        telemetry.counter("mac.rounds_planned").inc();
+        let ranking = {
+            let _rank_span = telemetry.span("mac.rank_s");
+            rank_by_sjr(channel, &self.config.heuristic)
+        };
+        let allocation = {
+            let _allocate_span = telemetry.span("mac.allocate_s");
+            allocate_by_ranking(
+                &ranking,
+                self.n_tx,
+                self.n_rx,
+                &self.config.led,
+                self.config.budget_w,
+                &self.config.heuristic,
+            )
+        };
         // Group active TXs into beamspots, preserving rank order so the
         // first TX of each group (the best channel) becomes the leader.
         let mut beamspots: Vec<Beamspot> = Vec::new();
@@ -168,6 +205,14 @@ impl Controller {
                     leader: entry.tx,
                 }),
             }
+        }
+        if beamspots.is_empty() {
+            telemetry.counter("mac.infeasible_rounds").inc();
+            telemetry.event(
+                "mac.controller",
+                "infeasible_round",
+                &[("budget_w", &format!("{}", self.config.budget_w))],
+            );
         }
         BeamspotPlan {
             beamspots,
@@ -236,6 +281,43 @@ mod tests {
         let mut dedup = txs.clone();
         dedup.dedup();
         assert_eq!(txs, dedup, "a TX appears in two beamspots");
+    }
+
+    #[test]
+    fn zero_budget_plan_is_counted_infeasible() {
+        let ctl = controller(0.0);
+        let telemetry = Registry::new();
+        let plan = ctl.plan_instrumented(&channel(), &telemetry);
+        assert!(plan.beamspots.is_empty());
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("mac.infeasible_rounds"), Some(1));
+        assert_eq!(snap.counter("mac.rounds_planned"), Some(1));
+        let event = snap
+            .events_of_kind("infeasible_round")
+            .next()
+            .expect("infeasible event recorded");
+        assert_eq!(event.target, "mac.controller");
+        assert!(event
+            .fields
+            .iter()
+            .any(|(k, v)| k == "budget_w" && v == "0"));
+    }
+
+    #[test]
+    fn feasible_plan_records_phases_without_infeasible_signal() {
+        let ctl = controller(1.2);
+        let telemetry = Registry::new();
+        let plan = ctl.plan_instrumented(&channel(), &telemetry);
+        assert!(!plan.beamspots.is_empty());
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("mac.infeasible_rounds"), None);
+        assert_eq!(snap.events_of_kind("infeasible_round").count(), 0);
+        for phase in ["mac.plan_s", "mac.rank_s", "mac.allocate_s"] {
+            assert!(
+                snap.histogram(phase).is_some_and(|h| h.count == 1),
+                "{phase} not timed"
+            );
+        }
     }
 
     #[test]

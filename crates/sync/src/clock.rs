@@ -6,6 +6,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use vlc_telemetry::Registry;
 
 /// A free-running clock with offset, drift, and per-event jitter.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -60,6 +61,14 @@ impl ClockModel {
             drift_ppm: self.drift_ppm,
             jitter_sigma_s: self.jitter_sigma_s,
         }
+    }
+
+    /// Publishes this clock's state into the `sync.offset_s` and
+    /// `sync.drift_ppm` gauges so a running simulation can expose how far
+    /// the TX clocks have wandered.
+    pub fn observe(&self, telemetry: &Registry) {
+        telemetry.gauge("sync.offset_s").set(self.offset_s);
+        telemetry.gauge("sync.drift_ppm").set(self.drift_ppm);
     }
 }
 

@@ -14,6 +14,7 @@ use vlc_channel::nlos::{floor_bounce_gain, NlosConfig};
 use vlc_channel::{NoiseParams, RxOptics};
 use vlc_geom::{Pose, Room};
 use vlc_led::{power::optical_swing_amplitude, LedParams};
+use vlc_telemetry::Registry;
 
 /// Outcome of a pilot-detection attempt at one follower.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,6 +89,24 @@ impl NlosSyncLink {
             snr,
             detected: post * wobble >= self.detection_threshold,
         }
+    }
+
+    /// [`Self::detect`] with telemetry: records the pre-correlation pilot
+    /// SNR into the `sync.pilot_snr` gauge and counts the outcome into
+    /// `sync.pilot_detections` or `sync.pilot_misses`.
+    pub fn detect_instrumented<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        telemetry: &Registry,
+    ) -> PilotDetection {
+        let detection = self.detect(rng);
+        telemetry.gauge("sync.pilot_snr").set(detection.snr);
+        if detection.detected {
+            telemetry.counter("sync.pilot_detections").inc();
+        } else {
+            telemetry.counter("sync.pilot_misses").inc();
+        }
+        detection
     }
 }
 

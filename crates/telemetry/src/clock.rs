@@ -1,0 +1,112 @@
+//! Time sources for span timing and event timestamps.
+//!
+//! Instrument timing is only as deterministic as its clock, so the clock is
+//! injected: production uses [`MonotonicClock`], simulations and tests use
+//! [`ManualClock`] and advance it explicitly.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonic time source reporting seconds since an arbitrary origin.
+pub trait Clock: Send + Sync {
+    /// Current time in seconds. Must be non-decreasing across calls.
+    fn now_s(&self) -> f64;
+}
+
+/// Wall-clock monotonic time, measured from the clock's creation.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_s(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+/// A manually advanced clock for deterministic tests and simulations.
+///
+/// Clones share the same underlying time, so a simulator can keep one handle
+/// while the registry owns another.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    t_s: Arc<Mutex<f64>>,
+}
+
+impl ManualClock {
+    /// Creates a clock at t = 0 s.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock to an absolute time. Panics if time would go backwards.
+    pub fn set(&self, t_s: f64) {
+        let mut t = self.t_s.lock().unwrap();
+        assert!(
+            t_s >= *t,
+            "ManualClock must be monotonic: set({t_s}) after {}",
+            *t
+        );
+        *t = t_s;
+    }
+
+    /// Advances the clock by `dt_s` seconds. Panics on negative steps.
+    pub fn advance(&self, dt_s: f64) {
+        assert!(dt_s >= 0.0, "ManualClock cannot step backwards ({dt_s})");
+        *self.t_s.lock().unwrap() += dt_s;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_s(&self) -> f64 {
+        *self.t_s.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_nondecreasing() {
+        let c = MonotonicClock::new();
+        let a = c.now_s();
+        let b = c.now_s();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn manual_clock_shares_time_across_clones() {
+        let c = ManualClock::new();
+        let c2 = c.clone();
+        c.advance(1.5);
+        c2.set(2.0);
+        assert_eq!(c.now_s(), 2.0);
+        assert_eq!(c2.now_s(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn manual_clock_rejects_backwards_set() {
+        let c = ManualClock::new();
+        c.set(3.0);
+        c.set(1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Structured event tracing with a bounded ring buffer.
+//!
+//! Events carry a timestamp, a `target` (the subsystem that emitted them),
+//! a `kind` (what happened), and ordered key/value fields. The ring holds a
+//! fixed number of events; once full, the **oldest** event is evicted and
+//! the drop counter increments, so a long run keeps the most recent history
+//! and still reports how much it lost.
+
+use std::collections::VecDeque;
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Emission time in seconds (registry clock).
+    pub t_s: f64,
+    /// Subsystem that emitted the event, e.g. `"mac.controller"`.
+    pub target: String,
+    /// What happened, e.g. `"replan"` or `"infeasible_round"`.
+    pub kind: String,
+    /// Ordered key/value annotations.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Fixed-capacity event buffer with oldest-first eviction.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest one if the ring is full.
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Number of events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: usize) -> Event {
+        Event {
+            t_s: i as f64,
+            target: "test".into(),
+            kind: format!("k{i}"),
+            fields: vec![("i".into(), i.to_string())],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.events().count(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let kinds: Vec<&str> = ring.events().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, ["k2", "k3", "k4"]);
+    }
+
+    #[test]
+    fn ring_below_capacity_drops_nothing() {
+        let mut ring = EventRing::new(8);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        assert_eq!(ring.events().count(), 2);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut ring = EventRing::new(0);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        assert_eq!(ring.events().count(), 1);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.events().next().unwrap().kind, "k1");
+    }
+}

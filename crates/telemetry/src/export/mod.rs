@@ -1,0 +1,36 @@
+//! Snapshot exporters: JSON, CSV, and a human-readable summary table.
+//!
+//! The workspace deliberately carries no serialization format crate, so
+//! the JSON and CSV writers here are hand-rolled — and each ships with a
+//! parser so `to_* / from_*` round-trips are enforced by tests rather
+//! than assumed.
+
+pub mod csv;
+pub mod json;
+pub mod summary;
+
+/// Failure while parsing an exported snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset (JSON) or line number (CSV) of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(at: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            at,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,110 @@
+//! The human-readable summary table.
+
+use crate::snapshot::MetricsSnapshot;
+
+fn fmt_value(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".to_string()
+    } else if !(1e-3..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders a fixed-width table of every instrument plus event totals.
+pub fn summary_table(snap: &MetricsSnapshot) -> String {
+    let name_width = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .chain(snap.gauges.iter().map(|(n, _)| n.len()))
+        .chain(snap.histograms.iter().map(|(n, _)| n.len()))
+        .max()
+        .unwrap_or(4)
+        .max("name".len());
+
+    let mut out = String::new();
+    out.push_str("== telemetry summary ==\n");
+
+    if !snap.counters.is_empty() {
+        out.push_str(&format!("counters ({}):\n", snap.counters.len()));
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<name_width$}  {v}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str(&format!("gauges ({}):\n", snap.gauges.len()));
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<name_width$}  {}\n", fmt_value(*v)));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str(&format!("histograms ({}):\n", snap.histograms.len()));
+        out.push_str(&format!(
+            "  {:<name_width$}  {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}\n",
+            "name", "count", "mean", "p50", "p95", "p99", "max"
+        ));
+        for (name, h) in &snap.histograms {
+            out.push_str(&format!(
+                "  {name:<name_width$}  {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}\n",
+                h.count,
+                fmt_value(h.mean()),
+                fmt_value(h.p50),
+                fmt_value(h.p95),
+                fmt_value(h.p99),
+                fmt_value(h.max),
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "events: {} retained, {} dropped\n",
+        snap.events.len(),
+        snap.events_dropped
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::HistogramSnapshot;
+
+    #[test]
+    fn table_lists_every_instrument() {
+        let snap = MetricsSnapshot {
+            counters: vec![("mac.rounds_planned".into(), 12)],
+            gauges: vec![("sim.blocked_links".into(), 2.0)],
+            histograms: vec![(
+                "alloc.optimal.solve_s".into(),
+                HistogramSnapshot {
+                    count: 3,
+                    sum: 0.3,
+                    min: 0.05,
+                    max: 0.15,
+                    p50: 0.1,
+                    p95: 0.15,
+                    p99: 0.15,
+                },
+            )],
+            events: vec![],
+            events_dropped: 4,
+        };
+        let table = summary_table(&snap);
+        assert!(table.contains("mac.rounds_planned"));
+        assert!(table.contains("12"));
+        assert!(table.contains("sim.blocked_links"));
+        assert!(table.contains("alloc.optimal.solve_s"));
+        assert!(table.contains("0 retained, 4 dropped"));
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders() {
+        let table = summary_table(&MetricsSnapshot::default());
+        assert!(table.contains("telemetry summary"));
+        assert!(table.contains("0 retained, 0 dropped"));
+    }
+}

@@ -1,0 +1,39 @@
+//! System-wide observability for the DenseVLC stack.
+//!
+//! The crate provides a [`Registry`] of typed instruments — [`Counter`],
+//! [`Gauge`], [`Histogram`] (log-bucketed, with p50/p95/p99/max), and RAII
+//! [`Span`] timers — plus a bounded structured-event ring buffer and
+//! JSON / CSV / human-readable exporters.
+//!
+//! Two properties drive the design:
+//!
+//! 1. **Zero-cost opt-out.** [`Registry::noop()`] produces a registry whose
+//!    instruments are inert handles (a `None` inside); uninstrumented code
+//!    paths pay one branch per operation and allocate nothing. All library
+//!    APIs accept `&Registry` so callers that do not care pass the no-op.
+//! 2. **Deterministic in simulation.** Time is injected through the
+//!    [`Clock`] trait. Real runs use [`MonotonicClock`]; tests and the
+//!    simulator use [`ManualClock`] so span durations and event timestamps
+//!    are reproducible bit-for-bit.
+//!
+//! Snapshots ([`MetricsSnapshot`]) are plain data: they derive `PartialEq`
+//! and `Clone` so they can be embedded in simulation results and compared
+//! in tests. The exporters are hand-written (this workspace deliberately
+//! carries no serialization format crate) and each comes with a parser so
+//! round-trips are testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod event;
+pub mod export;
+mod histogram;
+mod registry;
+mod snapshot;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use event::Event;
+pub use histogram::HistogramSnapshot;
+pub use registry::{Counter, Gauge, Histogram, Registry, Span};
+pub use snapshot::MetricsSnapshot;

@@ -4,9 +4,15 @@
 //! Run with: `cargo run --example quickstart`
 
 use densevlc::System;
+use vlc_telemetry::Registry;
 use vlc_testbed::Scenario;
 
 fn main() {
+    // A live registry: every layer the adaptation round touches records
+    // counters, gauges, and span timings into it (pass `Registry::noop()`
+    // — or call the uninstrumented methods — to skip all of that).
+    let telemetry = Registry::new();
+
     // Scenario 2 from the paper (Table 6): four receivers amid the grid,
     // with real inter-beamspot interference.
     let budget_w = 1.2;
@@ -21,7 +27,7 @@ fn main() {
     );
 
     // One adaptation round: measure → rank → form beamspots.
-    let round = system.adapt();
+    let round = system.adapt_instrumented(&telemetry);
     println!(
         "controller formed {} beamspots:",
         round.plan.beamspots.len()
@@ -49,7 +55,7 @@ fn main() {
     // Mobility: RX1 strolls to the far corner; the cell-free design just
     // re-forms its beamspot from whatever TXs now have the best channels.
     system.move_receivers(&[(2.55, 2.55), (1.65, 0.65), (0.72, 1.93), (1.99, 1.69)]);
-    let after = system.adapt();
+    let after = system.adapt_instrumented(&telemetry);
     let spot = after.plan.beamspot_for(0).expect("RX1 still served");
     let txs: Vec<String> = spot
         .txs
@@ -61,4 +67,8 @@ fn main() {
         txs.join(", "),
         after.per_rx_bps[0] / 1e6
     );
+
+    // What the system just did, by the numbers: planning phase timings,
+    // round counts, and the latest per-receiver throughput gauges.
+    println!("\n{}", telemetry.snapshot().summary_table());
 }

@@ -10,24 +10,50 @@
 //! densevlc-cli help
 //! ```
 //!
+//! Every command accepts `--telemetry <json|csv|summary>`: the run then
+//! records metrics into a live registry and appends the chosen rendering
+//! after the command's normal output (`densevlc-cli --telemetry summary`
+//! alone runs an adaptation round and prints its summary table).
+//!
 //! Argument parsing is std-only on purpose: the reproduction's dependency
 //! set stays at the approved crates.
 
 use densevlc::experiments::{fig05_illuminance, fig21_baselines, tab04_sync_error, tab05_iperf};
 use densevlc::System;
 use vlc_led::LedParams;
+use vlc_telemetry::Registry;
 use vlc_testbed::Scenario;
 
+/// Telemetry rendering requested on the command line.
+#[derive(Clone, Copy, PartialEq)]
+enum TelemetryFormat {
+    Json,
+    Csv,
+    Summary,
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let format = telemetry_arg(&mut args);
+    let telemetry = if format.is_some() {
+        Registry::new()
+    } else {
+        Registry::noop()
+    };
+    // With `--telemetry` and no command, default to an adaptation round so
+    // the registry has something to show.
+    let cmd = match args.first().map(String::as_str) {
+        Some(c) => c,
+        None if format.is_some() => "adapt",
+        None => "help",
+    };
     match cmd {
-        "adapt" => adapt(&args[1..]),
-        "map" => map(&args[1..]),
+        "adapt" => adapt(rest(&args), &telemetry),
+        "map" => map(rest(&args), &telemetry),
         "lux" => lux(),
-        "sync" => sync(),
-        "iperf" => iperf(&args[1..]),
-        "faceoff" => faceoff(&args[1..]),
+        "sync" => sync(&telemetry),
+        "iperf" => iperf(rest(&args), &telemetry),
+        "faceoff" => faceoff(rest(&args)),
         "help" | "--help" | "-h" => help(),
         other => {
             eprintln!("unknown command `{other}`\n");
@@ -35,6 +61,44 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(format) = format {
+        let snapshot = telemetry.snapshot();
+        match format {
+            TelemetryFormat::Json => println!("{}", snapshot.to_json()),
+            TelemetryFormat::Csv => print!("{}", snapshot.to_csv()),
+            TelemetryFormat::Summary => print!("\n{}", snapshot.summary_table()),
+        }
+    }
+}
+
+/// The argument slice after the command word (empty when the command was
+/// implied by `--telemetry` alone).
+fn rest(args: &[String]) -> &[String] {
+    if args.is_empty() {
+        args
+    } else {
+        &args[1..]
+    }
+}
+
+/// Extracts `--telemetry <json|csv|summary>` from anywhere in the argument
+/// list, removing both tokens.
+fn telemetry_arg(args: &mut Vec<String>) -> Option<TelemetryFormat> {
+    let i = args.iter().position(|a| a == "--telemetry")?;
+    let format = match args.get(i + 1).map(String::as_str) {
+        Some("json") => TelemetryFormat::Json,
+        Some("csv") => TelemetryFormat::Csv,
+        Some("summary") => TelemetryFormat::Summary,
+        other => {
+            eprintln!(
+                "--telemetry expects json, csv or summary (got `{}`)",
+                other.unwrap_or("")
+            );
+            std::process::exit(2);
+        }
+    };
+    args.drain(i..=i + 1);
+    Some(format)
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -56,13 +120,13 @@ fn scenario_arg(args: &[String]) -> Scenario {
     }
 }
 
-fn adapt(args: &[String]) {
+fn adapt(args: &[String], telemetry: &Registry) {
     let scenario = scenario_arg(args);
     let budget: f64 = flag_value(args, "--budget")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.2);
     let mut system = System::scenario(scenario, budget);
-    let round = system.adapt();
+    let round = system.adapt_instrumented(telemetry);
     println!("{} @ {budget} W", scenario.label());
     for spot in &round.plan.beamspots {
         let txs: Vec<String> = spot
@@ -83,17 +147,38 @@ fn adapt(args: &[String]) {
         round.system_throughput_bps / 1e6,
         round.power_w
     );
+    // Fig. 11's cost gap: time both allocators on the same channel so the
+    // summary shows optimal vs heuristic wall-time side by side. The
+    // optimal solver rejects a non-positive budget, so skip the probe.
+    if telemetry.is_enabled() && budget > 0.0 {
+        let model = &system.deployment.model;
+        let heuristic = vlc_alloc::heuristic::heuristic_allocation_instrumented(
+            &model.channel,
+            &model.led,
+            budget,
+            &vlc_alloc::HeuristicConfig::paper(),
+            telemetry,
+        );
+        let optimal =
+            vlc_alloc::OptimalSolver::quick().solve_instrumented(model, budget, telemetry);
+        println!(
+            "solver objectives (sum-log): heuristic {:.3}, optimal {:.3} in {} iterations",
+            model.sum_log_throughput(&heuristic),
+            optimal.objective,
+            optimal.iterations
+        );
+    }
 }
 
 /// Renders the ceiling grid with per-TX beamspot membership and the
 /// receiver positions as an ASCII floor plan.
-fn map(args: &[String]) {
+fn map(args: &[String], telemetry: &Registry) {
     let scenario = scenario_arg(args);
     let budget: f64 = flag_value(args, "--budget")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.2);
     let mut system = System::scenario(scenario, budget);
-    let round = system.adapt();
+    let round = system.adapt_instrumented(telemetry);
     let grid = &system.deployment.grid;
 
     // Per-TX glyph: the digit of the served RX, or '.' for illumination.
@@ -144,15 +229,21 @@ fn lux() {
     );
 }
 
-fn sync() {
-    print!("{}", tab04_sync_error::run(150, 0x11).report());
+fn sync(telemetry: &Registry) {
+    print!(
+        "{}",
+        tab04_sync_error::run_instrumented(150, 0x11, telemetry).report()
+    );
 }
 
-fn iperf(args: &[String]) {
+fn iperf(args: &[String], telemetry: &Registry) {
     let frames: usize = flag_value(args, "--frames")
         .and_then(|v| v.parse().ok())
         .unwrap_or(50);
-    print!("{}", tab05_iperf::run(frames, 0x12).report());
+    print!(
+        "{}",
+        tab05_iperf::run_instrumented(frames, 0x12, telemetry).report()
+    );
 }
 
 fn faceoff(args: &[String]) {
@@ -171,6 +262,9 @@ fn help() {
          iperf   [--frames N]                     Table-5 end-to-end experiment\n  \
          faceoff [--scenario 1|2|3]               Fig-21 SISO/D-MISO comparison\n  \
          help                                     this text\n\n\
+         OPTIONS:\n  \
+         --telemetry <json|csv|summary>           record metrics during the run\n  \
+         \x20                                        and append them to the output\n\n\
          Full per-figure binaries live in the vlc-bench crate:\n  \
          cargo run --release -p vlc-bench --bin run_all"
     );

@@ -1,9 +1,12 @@
 //! Integration: the full measure → report → plan → serve loop across
 //! `vlc-mac`, `vlc-alloc`, `vlc-channel` and `vlc-testbed`.
 
-use densevlc::System;
+use densevlc::e2e::{run_instrumented as e2e_run, E2eConfig, E2eTx};
+use densevlc::{Simulation, System};
 use vlc_mac::protocol::ChannelReport;
 use vlc_mac::{Controller, ControllerConfig};
+use vlc_sync::SyncScheme;
+use vlc_telemetry::Registry;
 use vlc_testbed::{Deployment, Scenario};
 
 /// The controller reconstructs (up to calibration) the channel from RX
@@ -90,6 +93,54 @@ fn budget_sweep_is_consistent() {
             .model
             .is_feasible(&round.plan.allocation, budget));
     }
+}
+
+/// One registry watches the whole stack: a short mobility simulation
+/// (controller planning) plus a clean-channel end-to-end frame run (PHY
+/// codec) both record into the same live registry, and the snapshot shows
+/// every layer did real work. The `Timeline` embeds the snapshot, while
+/// uninstrumented runs carry none.
+#[test]
+fn telemetry_snapshot_reflects_the_full_loop() {
+    let telemetry = Registry::new();
+
+    let mut sim = Simulation::new(Deployment::scenario(Scenario::Two), 1.2, 0.2);
+    sim.send_receiver(0, 2.0, 2.0);
+    let timeline = sim.run_instrumented(1.0, &telemetry);
+
+    // A clean single-host link: every frame should decode without ever
+    // exhausting the Reed–Solomon budget.
+    let txs = [E2eTx {
+        gain: 2e-4,
+        host: 0,
+    }];
+    let e2e = e2e_run(
+        &txs,
+        &SyncScheme::SyncOff,
+        &E2eConfig::default(),
+        5,
+        7,
+        &telemetry,
+    );
+    assert_eq!(e2e.frames_ok, 5, "clean channel should deliver all frames");
+
+    let snap = telemetry.snapshot();
+    assert!(snap.counter("mac.rounds_planned").unwrap_or(0) >= 1);
+    assert!(snap.counter("phy.frames_decoded").unwrap_or(0) > 0);
+    assert_eq!(snap.counter("phy.rs_uncorrectable").unwrap_or(0), 0);
+    assert_eq!(snap.counter("sim.ticks"), Some(10));
+    assert!(snap.histogram("sim.tick_s").is_some_and(|h| h.count == 10));
+    assert!(snap.gauge("sim.rx0.bps").is_some_and(|bps| bps > 0.0));
+
+    // The timeline embeds the (growing) registry's state at end-of-run;
+    // an uninstrumented run embeds nothing.
+    let embedded = timeline
+        .telemetry
+        .expect("instrumented run embeds telemetry");
+    assert!(embedded.counter("mac.rounds_planned").unwrap_or(0) >= 1);
+    assert!(embedded.counter("phy.frames_decoded").is_none());
+    let plain = Simulation::new(Deployment::scenario(Scenario::Two), 1.2, 0.2).run(0.5);
+    assert!(plain.telemetry.is_none());
 }
 
 /// Illumination invariance: whatever the controller decides, the average

@@ -1,0 +1,51 @@
+//! `any::<T>()` — the whole-domain strategy for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// A strategy covering `T`'s full domain.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+/// Primitive types with a whole-domain generator.
+pub trait ArbitraryValue: std::fmt::Debug {
+    /// Draws one value covering the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Upstream `any::<f64>()` spans the full finite range; tests here
+        // only need broad coverage, so sample a wide symmetric range.
+        (rng.gen::<f64>() - 0.5) * 2e12
+    }
+}

@@ -1,0 +1,13 @@
+//! The conventional `use proptest::prelude::*;` import surface.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Mirrors upstream's `prop` module alias for nested paths like
+/// `prop::collection::vec`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

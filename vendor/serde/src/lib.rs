@@ -1,0 +1,226 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The build environment has no crates-io access, so the workspace vendors
+//! the *contract surface* it relies on:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits (so `#[derive(Serialize,
+//!   Deserialize)]` on public config/result types keeps compiling and keeps
+//!   documenting the persistence contract),
+//! * `serde::de::value` plumbing ([`de::value::F64Deserializer`],
+//!   [`de::IntoDeserializer`]) used by the contract tests.
+//!
+//! This is **not** a serialization framework: `Serialize` is a marker here
+//! and derived `Deserialize` impls return an error. The repository's actual
+//! export formats (telemetry JSON/CSV) are hand-written in `vlc-telemetry`
+//! precisely so they carry no format-crate dependency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the derive-generated `::serde::...` paths resolve inside this
+// crate's own tests (the same trick upstream serde uses).
+#[cfg(test)]
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type's public shape is part of the persistence contract.
+///
+/// Upstream serde drives a `Serializer` here; the vendored stub records
+/// intent only.
+pub trait Serialize {}
+
+/// A type reconstructible from the simplified self-describing data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source of one value in the simplified data model.
+pub trait Deserializer<'de>: Sized {
+    /// The error type produced on malformed input.
+    type Error: de::Error;
+
+    /// Produces the underlying value.
+    fn deserialize_value(self) -> Result<de::value::SimpleValue, Self::Error>;
+}
+
+macro_rules! impl_deserialize_number {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_value()? {
+                    de::value::SimpleValue::F64(x) => Ok(x as $t),
+                    de::value::SimpleValue::U64(x) => Ok(x as $t),
+                    de::value::SimpleValue::I64(x) => Ok(x as $t),
+                    other => Err(<D::Error as de::Error>::custom(format_args!(
+                        "expected a number, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_number!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            de::value::SimpleValue::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(format_args!(
+                "expected a bool, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_value()? {
+            de::value::SimpleValue::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format_args!(
+                "expected a string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Deserialization support types (mirrors `serde::de`).
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors a deserializer can raise.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Conversion of a plain value into a deserializer over it.
+    pub trait IntoDeserializer<'de, E: Error = value::Error> {
+        /// The deserializer produced.
+        type Deserializer: crate::Deserializer<'de, Error = E>;
+
+        /// Wraps `self` in its deserializer.
+        fn into_deserializer(self) -> Self::Deserializer;
+    }
+
+    /// Value-level deserializers (mirrors `serde::de::value`).
+    pub mod value {
+        use std::fmt;
+        use std::marker::PhantomData;
+
+        /// The simplified self-describing data model of the stub.
+        #[derive(Debug, Clone, PartialEq)]
+        pub enum SimpleValue {
+            /// A floating-point number.
+            F64(f64),
+            /// An unsigned integer.
+            U64(u64),
+            /// A signed integer.
+            I64(i64),
+            /// A boolean.
+            Bool(bool),
+            /// A string.
+            Str(String),
+            /// The unit value.
+            Unit,
+        }
+
+        /// A minimal string-message error.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct Error {
+            msg: String,
+        }
+
+        impl fmt::Display for Error {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.msg)
+            }
+        }
+
+        impl std::error::Error for Error {}
+
+        impl super::Error for Error {
+            fn custom<T: fmt::Display>(msg: T) -> Self {
+                Error {
+                    msg: msg.to_string(),
+                }
+            }
+        }
+
+        macro_rules! value_deserializer {
+            ($name:ident, $t:ty, $variant:ident) => {
+                /// A deserializer holding a single plain value.
+                #[derive(Debug, Clone)]
+                pub struct $name<E> {
+                    value: $t,
+                    marker: PhantomData<E>,
+                }
+
+                impl<'de, E: super::Error> crate::Deserializer<'de> for $name<E> {
+                    type Error = E;
+                    fn deserialize_value(self) -> Result<SimpleValue, E> {
+                        Ok(SimpleValue::$variant(self.value))
+                    }
+                }
+
+                impl<'de, E: super::Error> super::IntoDeserializer<'de, E> for $t {
+                    type Deserializer = $name<E>;
+                    fn into_deserializer(self) -> $name<E> {
+                        $name {
+                            value: self,
+                            marker: PhantomData,
+                        }
+                    }
+                }
+            };
+        }
+
+        value_deserializer!(F64Deserializer, f64, F64);
+        value_deserializer!(U64Deserializer, u64, U64);
+        value_deserializer!(I64Deserializer, i64, I64);
+        value_deserializer!(BoolDeserializer, bool, Bool);
+        value_deserializer!(StringDeserializer, String, Str);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::de::value::{Error as ValueError, F64Deserializer, U64Deserializer};
+    use super::de::IntoDeserializer;
+    use super::Deserialize;
+
+    #[test]
+    fn f64_roundtrip() {
+        let de: F64Deserializer<ValueError> = 0.3675f64.into_deserializer();
+        assert_eq!(f64::deserialize(de).expect("f64"), 0.3675);
+    }
+
+    #[test]
+    fn u64_widens_to_f64() {
+        let de: U64Deserializer<ValueError> = 7u64.into_deserializer();
+        assert_eq!(f64::deserialize(de).expect("f64"), 7.0);
+    }
+
+    #[test]
+    fn bool_from_number_is_an_error() {
+        let de: F64Deserializer<ValueError> = 1.0f64.into_deserializer();
+        assert!(bool::deserialize(de).is_err());
+    }
+
+    #[test]
+    fn derives_compile_on_structs_and_enums() {
+        #[derive(crate::Serialize, crate::Deserialize)]
+        struct S {
+            _a: f64,
+        }
+        #[derive(crate::Serialize, crate::Deserialize)]
+        enum E {
+            _A,
+            _B(u8),
+        }
+        fn is_serialize<T: crate::Serialize>() {}
+        is_serialize::<S>();
+        is_serialize::<E>();
+    }
+}

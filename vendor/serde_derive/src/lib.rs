@@ -1,0 +1,91 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! Emits `impl serde::Serialize` (a marker in the stub) and a
+//! `serde::Deserialize` impl whose body reports that the stub does not
+//! perform real deserialization. Parsing is done directly on the token
+//! stream — no `syn`/`quote` (the build environment has no crates-io
+//! access). Generic items are rejected with a compile error; the workspace
+//! derives these traits on concrete types only.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the item name from a `struct`/`enum`/`union` definition,
+/// skipping attributes, doc comments, and visibility.
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        match tok {
+            // `#[attr]` / `#![attr]`: skip the '#' and the bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                match tokens.peek() {
+                    Some(TokenTree::Punct(bang)) if bang.as_char() == '!' => {
+                        tokens.next();
+                    }
+                    _ => {}
+                }
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip an optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected an item name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "the vendored serde stub cannot derive for generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+            _ => {}
+        }
+    }
+    Err("expected a struct, enum, or union definition".to_string())
+}
+
+fn emit(input: TokenStream, template: impl Fn(&str) -> String) -> TokenStream {
+    match item_name(input) {
+        Ok(name) => template(&name)
+            .parse()
+            .expect("generated impl must tokenize"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error must tokenize"),
+    }
+}
+
+/// Derives the stub `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives a stub `serde::Deserialize` whose body reports that the
+/// vendored stub does not reconstruct compound types.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(_d: __D)\
+                     -> ::core::result::Result<Self, __D::Error> {{\
+                     ::core::result::Result::Err(\
+                         <__D::Error as ::serde::de::Error>::custom(\
+                             \"the vendored serde stub does not deserialize compound types\"))\
+                 }}\
+             }}"
+        )
+    })
+}
