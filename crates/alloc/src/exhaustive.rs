@@ -9,6 +9,7 @@
 
 use crate::model::{Allocation, SystemModel};
 use serde::{Deserialize, Serialize};
+use vlc_par::{Jobs, Pool, DEFAULT_CHUNK};
 
 /// The exhaustive-search result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +28,10 @@ pub struct ExhaustiveResult {
 /// RX) within the power budget and returns the best by sum-log objective,
 /// falling back to system throughput while some receiver is still unserved.
 ///
+/// The candidate space partitions across `DENSEVLC_JOBS` workers
+/// (sequential when that resolves to 1); the result is bitwise identical
+/// for any worker count — see [`exhaustive_binary_jobs`].
+///
 /// # Panics
 /// Panics when the search space exceeds `max_assignments` (guard against
 /// accidentally exhausting a 36-TX instance) or the budget is not positive.
@@ -34,6 +39,26 @@ pub fn exhaustive_binary(
     model: &SystemModel,
     budget_w: f64,
     max_assignments: u64,
+) -> ExhaustiveResult {
+    exhaustive_binary_jobs(model, budget_w, max_assignments, Jobs::from_env())
+}
+
+/// [`exhaustive_binary`] with an explicit worker count.
+///
+/// Every assignment has an explicit index `i ∈ 0..(M+1)^N`, decoded as a
+/// mixed-radix code with TX 0 the least-significant digit — the same order
+/// the historic sequential counter visited. The winner is the
+/// lowest-index assignment among those maximal under the ranking
+/// predicate (finite objectives first, throughput among the unserved):
+/// candidates are scanned in index order within fixed-size chunks and the
+/// chunk bests merged in chunk order, with only a *strictly better*
+/// candidate displacing the incumbent. Ties therefore always break to the
+/// lowest assignment index, on one worker or many.
+pub fn exhaustive_binary_jobs(
+    model: &SystemModel,
+    budget_w: f64,
+    max_assignments: u64,
+    jobs: Jobs,
 ) -> ExhaustiveResult {
     assert!(budget_w > 0.0, "budget must be positive");
     let n_tx = model.n_tx();
@@ -51,58 +76,45 @@ pub fn exhaustive_binary(
     let full_power = model.dyn_resistance() * (full / 2.0) * (full / 2.0);
     let max_active = (budget_w / full_power).floor() as usize;
 
-    let mut best: Option<(Allocation, f64, f64)> = None;
-    let mut evaluated = 0u64;
-    let mut code = vec![0usize; n_tx]; // 0 = off, 1..=n_rx = serve RX-1
-    loop {
-        evaluated += 1;
-        let active = code.iter().filter(|&&c| c > 0).count();
-        if active <= max_active {
-            let mut alloc = Allocation::zeros(n_tx, n_rx);
-            for (tx, &c) in code.iter().enumerate() {
-                if c > 0 {
-                    alloc.set_swing(tx, c - 1, full);
-                }
-            }
-            let obj = model.sum_log_throughput(&alloc);
-            let bps = model.system_throughput(&alloc);
-            // Rank finite objectives first; among −∞ (some RX unserved),
-            // prefer higher raw throughput so tiny budgets still return a
-            // sensible allocation.
-            let better = match &best {
-                None => true,
-                Some((_, b_obj, b_bps)) => {
-                    if obj.is_finite() || b_obj.is_finite() {
-                        obj > *b_obj
-                    } else {
-                        bps > *b_bps
-                    }
-                }
-            };
-            if better {
-                best = Some((alloc, obj, bps));
+    // Score one assignment index; `None` = over the activation budget.
+    let score = |index: usize| -> Option<(Allocation, f64, f64)> {
+        let mut rest = index as u64;
+        let mut alloc = Allocation::zeros(n_tx, n_rx);
+        let mut active = 0usize;
+        for tx in 0..n_tx {
+            let c = (rest % choices) as usize; // 0 = off, 1..=n_rx = serve RX c-1
+            rest /= choices;
+            if c > 0 {
+                active += 1;
+                alloc.set_swing(tx, c - 1, full);
             }
         }
-        // Increment the mixed-radix counter.
-        let mut i = 0;
-        loop {
-            if i == n_tx {
-                let (allocation, objective, system_bps) =
-                    best.expect("at least the all-off assignment was evaluated");
-                return ExhaustiveResult {
-                    allocation,
-                    objective,
-                    system_bps,
-                    evaluated,
-                };
-            }
-            code[i] += 1;
-            if code[i] <= n_rx {
-                break;
-            }
-            code[i] = 0;
-            i += 1;
+        if active > max_active {
+            return None;
         }
+        let obj = model.sum_log_throughput(&alloc);
+        let bps = model.system_throughput(&alloc);
+        Some((alloc, obj, bps))
+    };
+    // Rank finite objectives first; among −∞ (some RX unserved), prefer
+    // higher raw throughput so tiny budgets still return a sensible
+    // allocation. Strict, so equal candidates keep the earlier index.
+    let better = |new: &(Allocation, f64, f64), cur: &(Allocation, f64, f64)| {
+        if new.1.is_finite() || cur.1.is_finite() {
+            new.1 > cur.1
+        } else {
+            new.2 > cur.2
+        }
+    };
+
+    let best = Pool::new(jobs).argmax_by(space as usize, DEFAULT_CHUNK, score, better);
+    let (_, (allocation, objective, system_bps)) =
+        best.expect("the all-off assignment (index 0) is always within budget");
+    ExhaustiveResult {
+        allocation,
+        objective,
+        system_bps,
+        evaluated: space,
     }
 }
 
@@ -181,5 +193,35 @@ mod tests {
     fn oversized_search_space_panics() {
         let m = tiny_model();
         exhaustive_binary(&m, 0.3, 100);
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_assignment_index() {
+        // Two TXs with bitwise-identical gains toward one RX: activating
+        // either yields the exact same objective, so the ranking alone
+        // cannot pick a winner. The contract is lowest assignment index —
+        // TX0 serving RX0 (index 1) beats TX1 serving RX0 (index 2) — on
+        // one worker or many.
+        let m = SystemModel::paper(ChannelMatrix::from_gains(2, 1, vec![1e-6, 1e-6]));
+        let full_power = m.dyn_resistance() * (m.led.max_swing / 2.0_f64).powi(2);
+        for jobs in [1usize, 2, 7] {
+            let res = exhaustive_binary_jobs(&m, full_power * 1.5, 1 << 10, Jobs::of(jobs));
+            assert_eq!(res.allocation.active_tx_count(), 1, "jobs={jobs}");
+            assert!(
+                res.allocation.swing(0, 0) > 0.0,
+                "jobs={jobs}: the tie must go to TX0"
+            );
+            assert_eq!(res.allocation.swing(1, 0), 0.0, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_result() {
+        let m = tiny_model();
+        let reference = exhaustive_binary_jobs(&m, 0.3, 1 << 21, Jobs::serial());
+        for jobs in [2usize, 7] {
+            let res = exhaustive_binary_jobs(&m, 0.3, 1 << 21, Jobs::of(jobs));
+            assert_eq!(res, reference, "jobs={jobs}");
+        }
     }
 }

@@ -21,6 +21,7 @@ use crate::model::{Allocation, SystemModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use vlc_par::{Jobs, Pool};
 use vlc_telemetry::Registry;
 
 /// Solver configuration.
@@ -85,11 +86,20 @@ impl OptimalSolver {
 
     /// Solves the program for `model` under a communication power budget.
     ///
+    /// The independent ascent starts fan out over `DENSEVLC_JOBS` workers
+    /// (sequential when that resolves to 1); the report is bitwise
+    /// identical for any worker count — see [`Self::solve_jobs`].
+    ///
     /// # Panics
     /// Panics if `budget_w` is non-positive (a zero budget admits only the
     /// all-zero allocation, whose objective is −∞).
     pub fn solve(&self, model: &SystemModel, budget_w: f64) -> SolveReport {
         self.solve_instrumented(model, budget_w, &Registry::noop())
+    }
+
+    /// [`Self::solve`] with an explicit worker count.
+    pub fn solve_jobs(&self, model: &SystemModel, budget_w: f64, jobs: Jobs) -> SolveReport {
+        self.solve_instrumented_jobs(model, budget_w, &Registry::noop(), jobs)
     }
 
     /// [`Self::solve`] with telemetry: wall-time into the
@@ -103,6 +113,24 @@ impl OptimalSolver {
         model: &SystemModel,
         budget_w: f64,
         telemetry: &Registry,
+    ) -> SolveReport {
+        self.solve_instrumented_jobs(model, budget_w, telemetry, Jobs::from_env())
+    }
+
+    /// [`Self::solve_instrumented`] with an explicit worker count.
+    ///
+    /// Each start's projected-gradient ascent is an independent work item;
+    /// the winner is selected by scanning the per-start results in start
+    /// order (first finite objective seeds the incumbent, only a strictly
+    /// greater objective replaces it), which is exactly the sequential
+    /// selection rule — so ties keep the lowest start index and the report
+    /// is bitwise identical for any `jobs`.
+    pub fn solve_instrumented_jobs(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        telemetry: &Registry,
+        jobs: Jobs,
     ) -> SolveReport {
         assert!(budget_w > 0.0, "power budget must be positive");
         let _solve_span = telemetry.span("alloc.optimal.solve_s");
@@ -153,9 +181,16 @@ impl OptimalSolver {
         telemetry
             .counter("alloc.optimal.starts")
             .add(starts.len() as u64);
-        for mut start in starts {
+        // Fan the independent ascents out, then reduce in start order: the
+        // incumbent only changes on a strictly greater objective, so ties
+        // keep the lowest start index — same as the sequential loop.
+        let pool = Pool::new(jobs).with_telemetry(telemetry);
+        let ascents = pool.map_indexed(starts.len(), |i| {
+            let mut start = starts[i].clone();
             self.project(model, &mut start, budget_w);
-            let (alloc, obj, iters, evals) = self.ascend(model, start, budget_w);
+            self.ascend(model, start, budget_w)
+        });
+        for (alloc, obj, iters, evals) in ascents {
             total_iters += iters;
             obj_evals += evals;
             let better = match &best {

@@ -1,60 +1,230 @@
 //! Runs every experiment at a reduced scale and prints the full report —
 //! a one-shot reproduction of the paper's evaluation section.
+//!
+//! Experiments execute as a parallel job set on the `vlc-par` pool:
+//! reports are collected and printed in the fixed experiment order, so the
+//! output is byte-identical for any worker count (`--jobs 1` is the exact
+//! legacy sequential run). `--telemetry summary` appends the per-job span
+//! table (`bench.<name>.run_s`) and the pool's per-worker metrics.
 
 use densevlc::experiments::*;
 use vlc_bench::{budget_sweep, rate_sweep};
 use vlc_led::LedParams;
+use vlc_par::{Jobs, Pool, JOBS_ENV};
+use vlc_telemetry::Registry;
 use vlc_testbed::Scenario;
 
-fn main() {
-    let led = LedParams::cree_xte_paper();
-    println!("==== DenseVLC (CoNEXT '18) — full evaluation reproduction ====\n");
-    println!("{}", fig04_taylor_error::run(&led, 90).report());
-    println!("{}", fig05_illuminance::run(&led, 1).report());
-    println!(
-        "{}",
-        fig08_throughput_vs_power::run(&budget_sweep(), 20, 8).report()
-    );
-    println!("{}", fig09_swing_levels::run(&budget_sweep()).report());
-    println!(
-        "{}",
-        fig10_swing_cdf::run(&[2, 4, 9, 14], 1.2, 20, 10).report()
-    );
-    println!(
-        "{}",
-        fig11_heuristic_verification::run(&budget_sweep(), 20, 1.2, 11).report()
-    );
-    println!(
-        "{}",
-        fig12_sync_delay::run(&rate_sweep(), 10_001, 12).report()
-    );
-    println!("{}", tab04_sync_error::run(100, 4).report());
-    println!("{}", tab05_iperf::run(50, 5).report());
-    for s in [Scenario::One, Scenario::Two, Scenario::Three] {
-        println!("{}", fig18_20_scenarios::run(s).report());
+const USAGE: &str = "\
+run_all — regenerate the full DenseVLC evaluation (every table and figure)
+
+USAGE:
+    run_all [--jobs N] [--telemetry FORMAT]
+
+OPTIONS:
+    --jobs N            Worker count for the experiment job set and the
+                        parallel layers underneath it (channel sounding,
+                        allocator search). N = a positive integer, or
+                        `max`/`0` for all available cores. Defaults to the
+                        DENSEVLC_JOBS environment variable, then to all
+                        cores. `--jobs 1` is the exact sequential path;
+                        reports are byte-identical for every worker count.
+    --telemetry FORMAT  Append run telemetry: `summary` (per-job span and
+                        per-worker tables), `json`, or `csv`.
+    -h, --help          Print this help.
+";
+
+/// One experiment: its span label and the closure that produces its report.
+type Job = (&'static str, Box<dyn Fn() -> String + Send + Sync>);
+
+/// The evaluation job set, in the paper's presentation order.
+/// Returns the jobs plus the index where the §9 extensions begin.
+fn job_set() -> (Vec<Job>, usize) {
+    let mut jobs: Vec<Job> = vec![
+        (
+            "fig04_taylor_error",
+            Box::new(|| fig04_taylor_error::run(&LedParams::cree_xte_paper(), 90).report()),
+        ),
+        (
+            "fig05_illuminance",
+            Box::new(|| fig05_illuminance::run(&LedParams::cree_xte_paper(), 1).report()),
+        ),
+        (
+            "fig08_throughput_vs_power",
+            Box::new(|| fig08_throughput_vs_power::run(&budget_sweep(), 20, 8).report()),
+        ),
+        (
+            "fig09_swing_levels",
+            Box::new(|| fig09_swing_levels::run(&budget_sweep()).report()),
+        ),
+        (
+            "fig10_swing_cdf",
+            Box::new(|| fig10_swing_cdf::run(&[2, 4, 9, 14], 1.2, 20, 10).report()),
+        ),
+        (
+            "fig11_heuristic_verification",
+            Box::new(|| fig11_heuristic_verification::run(&budget_sweep(), 20, 1.2, 11).report()),
+        ),
+        (
+            "fig12_sync_delay",
+            Box::new(|| fig12_sync_delay::run(&rate_sweep(), 10_001, 12).report()),
+        ),
+        (
+            "tab04_sync_error",
+            Box::new(|| tab04_sync_error::run(100, 4).report()),
+        ),
+        ("tab05_iperf", Box::new(|| tab05_iperf::run(50, 5).report())),
+        (
+            "fig18_scenario1",
+            Box::new(|| fig18_20_scenarios::run(Scenario::One).report()),
+        ),
+        (
+            "fig19_scenario2",
+            Box::new(|| fig18_20_scenarios::run(Scenario::Two).report()),
+        ),
+        (
+            "fig20_scenario3",
+            Box::new(|| fig18_20_scenarios::run(Scenario::Three).report()),
+        ),
+        (
+            "fig21_baselines",
+            Box::new(|| fig21_baselines::run(Scenario::Two).report()),
+        ),
+        (
+            "complexity",
+            Box::new(|| complexity::run(1.2, 3, 5_000).report()),
+        ),
+    ];
+    let extensions_at = jobs.len();
+    let extensions: Vec<Job> = vec![
+        (
+            "ext_adaptive_kappa",
+            Box::new(|| ext_adaptive_kappa::run(&[0.6, 1.2], 1.0).report()),
+        ),
+        (
+            "ext_density",
+            Box::new(|| ext_density::run(&[3, 4, 6], 1.2).report()),
+        ),
+        (
+            "ext_orientation",
+            Box::new(|| ext_orientation::run(&[0.0, 20.0, 45.0], 1.2).report()),
+        ),
+        (
+            "ext_ofdm",
+            Box::new(|| ext_ofdm::run(50_000, 0xE0FD).report()),
+        ),
+        (
+            "ext_dimming",
+            Box::new(|| ext_dimming::run(&[0.15, 0.3, 0.45, 0.6, 0.75], 0.6).report()),
+        ),
+        (
+            "ext_blockage",
+            Box::new(|| ext_blockage::run(Scenario::Three, 6, 1.2).report()),
+        ),
+        (
+            "ext_adaptation",
+            Box::new(|| ext_adaptation::run(&[0.5, 2.0], &[0.07, 2.0], 0xADA7).report()),
+        ),
+        (
+            "ext_concurrent",
+            Box::new(|| ext_concurrent::run(Scenario::Two, 1.2, 15, 0xC0C).report()),
+        ),
+        (
+            "ext_arq",
+            Box::new(|| ext_arq::run_study(&[1.0, 0.05, 0.04], 20, 0xA2).report()),
+        ),
+    ];
+    jobs.extend(extensions);
+    (jobs, extensions_at)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum TelemetryFormat {
+    Json,
+    Csv,
+    Summary,
+}
+
+struct Options {
+    jobs: Jobs,
+    telemetry: Option<TelemetryFormat>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut jobs: Option<Jobs> = None;
+    let mut telemetry = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value (N or `max`)")?;
+                jobs = Some(Jobs::parse(&v).ok_or(format!("bad --jobs value `{v}`"))?);
+            }
+            "--telemetry" => {
+                let v = args.next().ok_or("--telemetry needs a format")?;
+                telemetry = Some(match v.as_str() {
+                    "json" => TelemetryFormat::Json,
+                    "csv" => TelemetryFormat::Csv,
+                    "summary" => TelemetryFormat::Summary,
+                    other => return Err(format!("bad --telemetry format `{other}`")),
+                });
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
     }
-    println!("{}", fig21_baselines::run(Scenario::Two).report());
-    println!("{}", complexity::run(1.2, 3, 5_000).report());
-    println!("---- extensions (paper §9 future work) ----\n");
-    println!("{}", ext_adaptive_kappa::run(&[0.6, 1.2], 1.0).report());
-    println!("{}", ext_density::run(&[3, 4, 6], 1.2).report());
-    println!("{}", ext_orientation::run(&[0.0, 20.0, 45.0], 1.2).report());
-    println!("{}", ext_ofdm::run(50_000, 0xE0FD).report());
+    Ok(Options {
+        jobs: jobs.unwrap_or_else(Jobs::from_env),
+        telemetry,
+    })
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    // Propagate the job count to the parallel layers underneath the
+    // experiments (channel sounding, allocator candidate search).
+    std::env::set_var(JOBS_ENV, opts.jobs.get().to_string());
+
+    let (set, extensions_at) = job_set();
+    let registry = Registry::new();
+    let pool = Pool::new(opts.jobs).with_telemetry(&registry);
+
     println!(
-        "{}",
-        ext_dimming::run(&[0.15, 0.3, 0.45, 0.6, 0.75], 0.6).report()
+        "==== DenseVLC (CoNEXT '18) — full evaluation reproduction ({} jobs, {} workers) ====\n",
+        set.len(),
+        opts.jobs
     );
-    println!("{}", ext_blockage::run(Scenario::Three, 6, 1.2).report());
-    println!(
-        "{}",
-        ext_adaptation::run(&[0.5, 2.0], &[0.07, 2.0], 0xADA7).report()
-    );
-    println!(
-        "{}",
-        ext_concurrent::run(Scenario::Two, 1.2, 15, 0xC0C).report()
-    );
-    println!(
-        "{}",
-        ext_arq::run_study(&[1.0, 0.05, 0.04], 20, 0xA2).report()
-    );
+    let _wall = registry.span("bench.run_all_s");
+    let reports = pool.map_indexed(set.len(), |i| {
+        let (name, run) = &set[i];
+        let _span = registry.span(&format!("bench.{name}.run_s"));
+        let report = run();
+        registry.counter("bench.jobs_done").inc();
+        report
+    });
+    drop(_wall);
+
+    for (i, report) in reports.iter().enumerate() {
+        if i == extensions_at {
+            println!("---- extensions (paper §9 future work) ----\n");
+        }
+        println!("{report}");
+    }
+
+    if let Some(format) = opts.telemetry {
+        let snap = registry.snapshot();
+        match format {
+            TelemetryFormat::Json => println!("{}", snap.to_json()),
+            TelemetryFormat::Csv => println!("{}", snap.to_csv()),
+            TelemetryFormat::Summary => println!("{}", snap.summary_table()),
+        }
+    }
 }

@@ -1,0 +1,25 @@
+//! Tier-2 gate: the workspace test suite at both ends of the jobs knob.
+//!
+//! `cargo tier2` (aliased in `.cargo/config.toml`) runs `cargo test -q`
+//! twice — once with `DENSEVLC_JOBS=1` (the exact sequential legacy path)
+//! and once with `DENSEVLC_JOBS=max` (full fan-out) — so a change that is
+//! only correct on one side of the determinism contract cannot land.
+
+use std::process::Command;
+
+fn main() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for jobs in ["1", "max"] {
+        println!("==== tier2: cargo test -q --workspace (DENSEVLC_JOBS={jobs}) ====");
+        let status = Command::new(&cargo)
+            .args(["test", "-q", "--workspace"])
+            .env("DENSEVLC_JOBS", jobs)
+            .status()
+            .expect("failed to spawn cargo test");
+        if !status.success() {
+            eprintln!("tier2 FAILED at DENSEVLC_JOBS={jobs}");
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+    println!("tier2 OK: suite green at jobs=1 and jobs=max");
+}

@@ -4,6 +4,7 @@ use crate::blockage::{any_blocks, CylinderBlocker};
 use crate::lambertian::{lambertian_order, los_gain, RxOptics};
 use serde::{Deserialize, Serialize};
 use vlc_geom::{Pose, TxGrid};
+use vlc_par::{Jobs, Pool};
 
 /// Line-of-sight path gains `H[tx][rx]` for every TX/RX pair.
 ///
@@ -32,7 +33,10 @@ impl ChannelMatrix {
         ChannelMatrix { n_tx, n_rx, gains }
     }
 
-    /// Computes the LOS matrix for a TX grid and receiver poses.
+    /// Computes the LOS matrix for a TX grid and receiver poses, fanning
+    /// the TX rows out over `DENSEVLC_JOBS` workers (sequential when that
+    /// resolves to 1). The result is bitwise identical for any worker
+    /// count — see [`Self::compute_par`].
     pub fn compute(
         grid: &TxGrid,
         receivers: &[Pose],
@@ -42,8 +46,19 @@ impl ChannelMatrix {
         Self::compute_with_blockage(grid, receivers, half_power_semi_angle, optics, &[])
     }
 
+    /// [`Self::compute`] with an explicit worker count.
+    pub fn compute_par(
+        grid: &TxGrid,
+        receivers: &[Pose],
+        half_power_semi_angle: f64,
+        optics: &RxOptics,
+        jobs: Jobs,
+    ) -> Self {
+        Self::compute_with_blockage_par(grid, receivers, half_power_semi_angle, optics, &[], jobs)
+    }
+
     /// Computes the LOS matrix with cylindrical occluders: a blocked pair
-    /// gets zero gain.
+    /// gets zero gain. Parallelism as in [`Self::compute`].
     pub fn compute_with_blockage(
         grid: &TxGrid,
         receivers: &[Pose],
@@ -51,20 +66,47 @@ impl ChannelMatrix {
         optics: &RxOptics,
         blockers: &[CylinderBlocker],
     ) -> Self {
+        Self::compute_with_blockage_par(
+            grid,
+            receivers,
+            half_power_semi_angle,
+            optics,
+            blockers,
+            Jobs::from_env(),
+        )
+    }
+
+    /// [`Self::compute_with_blockage`] with an explicit worker count: each
+    /// TX row of `H` is an independent work item, and rows are reassembled
+    /// in TX order, so the matrix is bitwise identical to the sequential
+    /// one for any `jobs`.
+    pub fn compute_with_blockage_par(
+        grid: &TxGrid,
+        receivers: &[Pose],
+        half_power_semi_angle: f64,
+        optics: &RxOptics,
+        blockers: &[CylinderBlocker],
+        jobs: Jobs,
+    ) -> Self {
         let m = lambertian_order(half_power_semi_angle);
         let n_tx = grid.len();
         let n_rx = receivers.len();
-        let mut gains = Vec::with_capacity(n_tx * n_rx);
-        for t in 0..n_tx {
+        let rows = Pool::new(jobs).map_indexed(n_tx, |t| {
             let tx = grid.pose(t);
-            for rx in receivers {
-                let blocked = any_blocks(blockers, tx.position, rx.position);
-                gains.push(if blocked {
-                    0.0
-                } else {
-                    los_gain(&tx, rx, m, optics)
-                });
-            }
+            receivers
+                .iter()
+                .map(|rx| {
+                    if any_blocks(blockers, tx.position, rx.position) {
+                        0.0
+                    } else {
+                        los_gain(&tx, rx, m, optics)
+                    }
+                })
+                .collect::<Vec<f64>>()
+        });
+        let mut gains = Vec::with_capacity(n_tx * n_rx);
+        for row in rows {
+            gains.extend(row);
         }
         ChannelMatrix { n_tx, n_rx, gains }
     }

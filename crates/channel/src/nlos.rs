@@ -17,6 +17,7 @@
 use crate::lambertian::RxOptics;
 use serde::{Deserialize, Serialize};
 use vlc_geom::{Pose, Room, Vec3};
+use vlc_par::{Jobs, Pool};
 
 /// Configuration for the single-bounce integration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,22 +53,41 @@ pub fn floor_bounce_gain(
     room: &Room,
     cfg: &NlosConfig,
 ) -> f64 {
+    floor_bounce_gain_par(tx, rx, lambertian_m, optics, room, cfg, Jobs::from_env())
+}
+
+/// [`floor_bounce_gain`] with an explicit worker count.
+///
+/// The quadrature is structured as one partial sum per floor *row* (fixed
+/// `iy`), summed over rows in row order — on the sequential path too — so
+/// fanning rows out over workers reassociates nothing and the integral is
+/// bitwise identical for any `jobs`.
+pub fn floor_bounce_gain_par(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+    jobs: Jobs,
+) -> f64 {
     assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
     let da = cfg.patch_size_m * cfg.patch_size_m;
     let nx = (room.width / cfg.patch_size_m).ceil() as usize;
     let ny = (room.depth / cfg.patch_size_m).ceil() as usize;
-    let mut total = 0.0;
-    for iy in 0..ny {
+    let row_sums = Pool::new(jobs).map_indexed(ny, |iy| {
+        let mut row = 0.0;
         for ix in 0..nx {
             let w = Vec3::new(
                 (ix as f64 + 0.5) * cfg.patch_size_m,
                 (iy as f64 + 0.5) * cfg.patch_size_m,
                 0.0,
             );
-            total += patch_contribution(tx, rx, w, lambertian_m, optics, room.floor_reflectance);
+            row += patch_contribution(tx, rx, w, lambertian_m, optics, room.floor_reflectance);
         }
-    }
-    total * da
+        row
+    });
+    row_sums.iter().sum::<f64>() * da
 }
 
 /// Single-bounce *wall* path gain from a transmitter to a receiver: the
@@ -87,9 +107,24 @@ pub fn wall_bounce_gain(
     room: &Room,
     cfg: &NlosConfig,
 ) -> f64 {
+    wall_bounce_gain_par(tx, rx, lambertian_m, optics, room, cfg, Jobs::from_env())
+}
+
+/// [`wall_bounce_gain`] with an explicit worker count. Work items are the
+/// vertical wall *columns* (one per `(wall, iu)`), each summed bottom-up;
+/// column partials are added in column order on every path, so the result
+/// is bitwise identical for any `jobs` (see [`floor_bounce_gain_par`]).
+pub fn wall_bounce_gain_par(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+    jobs: Jobs,
+) -> f64 {
     assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
     let da = cfg.patch_size_m * cfg.patch_size_m;
-    let mut total = 0.0;
     // Each wall: (origin, horizontal axis, extent along it, inward normal).
     let walls: [(Vec3, Vec3, f64, Vec3); 4] = [
         (Vec3::ZERO, Vec3::X, room.width, Vec3::Y), // y = 0
@@ -107,27 +142,35 @@ pub fn wall_bounce_gain(
             -Vec3::X,
         ), // x = width
     ];
-    for (origin, axis, extent, normal) in walls {
-        let nu = (extent / cfg.patch_size_m).ceil() as usize;
-        let nz = (room.height / cfg.patch_size_m).ceil() as usize;
-        for iu in 0..nu {
-            for iz in 0..nz {
-                let w = origin
-                    + axis * ((iu as f64 + 0.5) * cfg.patch_size_m)
-                    + Vec3::Z * ((iz as f64 + 0.5) * cfg.patch_size_m);
-                total += surface_patch_contribution(
-                    tx,
-                    rx,
-                    w,
-                    normal,
-                    lambertian_m,
-                    optics,
-                    room.floor_reflectance,
-                );
-            }
+    let nz = (room.height / cfg.patch_size_m).ceil() as usize;
+    // Flatten the four walls' columns into one indexed work list.
+    let columns: Vec<(Vec3, Vec3, Vec3, usize)> = walls
+        .iter()
+        .flat_map(|&(origin, axis, extent, normal)| {
+            let nu = (extent / cfg.patch_size_m).ceil() as usize;
+            (0..nu).map(move |iu| (origin, axis, normal, iu))
+        })
+        .collect();
+    let column_sums = Pool::new(jobs).map_indexed(columns.len(), |c| {
+        let (origin, axis, normal, iu) = columns[c];
+        let mut col = 0.0;
+        for iz in 0..nz {
+            let w = origin
+                + axis * ((iu as f64 + 0.5) * cfg.patch_size_m)
+                + Vec3::Z * ((iz as f64 + 0.5) * cfg.patch_size_m);
+            col += surface_patch_contribution(
+                tx,
+                rx,
+                w,
+                normal,
+                lambertian_m,
+                optics,
+                room.floor_reflectance,
+            );
         }
-    }
-    total * da
+        col
+    });
+    column_sums.iter().sum::<f64>() * da
 }
 
 /// Contribution density (per m² of floor) of one patch center `w`.

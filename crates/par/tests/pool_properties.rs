@@ -1,0 +1,107 @@
+//! Property tests for the worker pool: the determinism contract must hold
+//! for *arbitrary* item counts, worker counts, chunk sizes, and panic
+//! placements — not just the handful of shapes the unit tests pin down.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use vlc_par::{Jobs, Pool};
+
+/// A deterministic, index-dependent payload with enough structure to catch
+/// out-of-order reassembly (not symmetric in `i`).
+fn payload(i: usize) -> (usize, f64) {
+    (i.wrapping_mul(2654435761) % 1000, (i as f64 + 0.5).sqrt())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `map_indexed` returns exactly the sequential result — same values,
+    /// same order — for any item count and worker count.
+    #[test]
+    fn map_matches_sequential_for_any_shape(
+        n in 0usize..80,
+        workers in 1usize..9,
+    ) {
+        let expected: Vec<_> = (0..n).map(payload).collect();
+        let got = Pool::new(Jobs::of(workers)).map_indexed(n, payload);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `fold_chunks` performs an *ordered* reduction: with an
+    /// order-sensitive merge (string concatenation) the result equals the
+    /// left-to-right sequential fold for any chunk size and worker count.
+    #[test]
+    fn fold_reduction_is_ordered(
+        n in 0usize..60,
+        chunk in 1usize..20,
+        workers in 1usize..9,
+    ) {
+        let expected: String = (0..n).map(|i| format!("{i},")).collect();
+        let got = Pool::new(Jobs::of(workers)).fold_chunks(
+            n,
+            chunk,
+            String::new,
+            |acc, i| acc + &format!("{i},"),
+            |a, b| a + &b,
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `argmax_by` with a strict `better` predicate always returns the
+    /// *leftmost* maximum — ties break to the lowest index — for any
+    /// score landscape, chunk size, and worker count.
+    #[test]
+    fn argmax_is_leftmost_for_any_landscape(
+        scores in proptest::collection::vec(0u32..6, 0..60),
+        chunk in 1usize..16,
+        workers in 1usize..9,
+    ) {
+        let expected = scores
+            .iter()
+            .enumerate()
+            .fold(None::<(usize, u32)>, |best, (i, &s)| match best {
+                Some((_, b)) if s <= b => best,
+                _ => Some((i, s)),
+            });
+        let got = Pool::new(Jobs::of(workers)).argmax_by(
+            scores.len(),
+            chunk,
+            |i| Some(scores[i]),
+            |a, b| a > b,
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A panicking item never deadlocks the pool, and the propagated panic
+    /// names the *lowest* panicking index — the same one the sequential
+    /// path would hit first — for any placement and worker count.
+    #[test]
+    fn panics_propagate_with_the_lowest_index(
+        n in 1usize..40,
+        panickers in proptest::collection::vec(0usize..40, 1..5),
+        workers in 1usize..9,
+    ) {
+        let panickers: Vec<usize> =
+            panickers.into_iter().map(|p| p % n).collect();
+        let lowest = *panickers.iter().min().unwrap();
+        let pool = Pool::new(Jobs::of(workers));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(n, |i| {
+                if panickers.contains(&i) {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }));
+        let payload = result.expect_err("a panicking item must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string>".into());
+        prop_assert_eq!(
+            &msg,
+            &format!("parallel item {lowest} panicked: boom at {lowest}"),
+            "got panic message: {}", msg
+        );
+    }
+}

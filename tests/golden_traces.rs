@@ -1,0 +1,161 @@
+//! Golden-trace snapshots for three anchor experiments (Fig. 8, Fig. 11,
+//! Fig. 21). Each experiment's result is rendered to JSON with exact
+//! (`{:?}`) float formatting — which round-trips f64 bit patterns — and
+//! compared byte-for-byte against `tests/golden/*.json`.
+//!
+//! Together with `tests/par_determinism.rs` this pins the full numeric
+//! output of the pipeline: any reassociation, reordering, or seed change
+//! anywhere in channel → allocator → experiment shows up as a golden diff.
+//!
+//! Regenerating after an *intentional* numeric change:
+//!
+//! ```text
+//! DENSEVLC_GOLDEN_REGEN=1 cargo test --test golden_traces
+//! git diff tests/golden/   # review the numeric drift, then commit
+//! ```
+
+use densevlc::experiments::{
+    fig08_throughput_vs_power, fig11_heuristic_verification, fig21_baselines,
+};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use vlc_testbed::Scenario;
+
+/// Env var: when set (to anything non-empty), tests rewrite the golden
+/// files instead of comparing against them.
+const REGEN_ENV: &str = "DENSEVLC_GOLDEN_REGEN";
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Exact JSON rendering of an f64: `{:?}` prints the shortest decimal that
+/// round-trips the bit pattern. Non-finite values (JSON has none) are
+/// quoted so a snapshot can still capture them.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        format!("\"{v:?}\"")
+    }
+}
+
+fn jlist(vs: &[f64]) -> String {
+    let inner: Vec<String> = vs.iter().map(|&v| jnum(v)).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn jpair(p: (f64, f64)) -> String {
+    format!("[{},{}]", jnum(p.0), jnum(p.1))
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var(REGEN_ENV)
+        .map(|v| !v.is_empty())
+        .unwrap_or(false)
+    {
+        std::fs::write(&path, rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `{REGEN_ENV}=1 cargo test --test golden_traces` \
+             to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden.as_str(),
+        "{name} drifted from its golden snapshot; if the numeric change is intentional, \
+         regenerate with `{REGEN_ENV}=1 cargo test --test golden_traces` and review the diff"
+    );
+}
+
+#[test]
+fn fig08_trace_matches_golden() {
+    let fig = fig08_throughput_vs_power::run(&[0.3, 1.2], 3, 0xF168);
+    let mut s = String::new();
+    write!(s, "{{\"instances\":{},\"points\":[", fig.instances).unwrap();
+    for (i, p) in fig.points.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let per_rx: Vec<String> = p.per_rx_bps.iter().map(|&pr| jpair(pr)).collect();
+        write!(
+            s,
+            "{{\"budget_w\":{},\"system_bps\":{},\"per_rx_bps\":[{}]}}",
+            jnum(p.budget_w),
+            jpair(p.system_bps),
+            per_rx.join(",")
+        )
+        .unwrap();
+    }
+    s.push_str("]}\n");
+    check("fig08.json", &s);
+}
+
+#[test]
+fn fig11_trace_matches_golden() {
+    let fig = fig11_heuristic_verification::run(&[0.6, 1.2], 3, 1.2, 0xF11);
+    let mut s = String::new();
+    write!(
+        s,
+        "{{\"curves\":{{\"budgets_w\":{},\"optimal_bps\":{},\"heuristic_bps\":[",
+        jlist(&fig.curves.budgets_w),
+        jlist(&fig.curves.optimal_bps)
+    )
+    .unwrap();
+    for (i, (kappa, bps)) in fig.curves.heuristic_bps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write!(s, "[{},{}]", jnum(*kappa), jlist(bps)).unwrap();
+    }
+    s.push_str("]},\"losses\":[");
+    for (i, (kappa, losses)) in fig.losses.losses.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write!(s, "[{},{}]", jnum(*kappa), jlist(losses)).unwrap();
+    }
+    s.push_str("]}\n");
+    check("fig11.json", &s);
+}
+
+#[test]
+fn fig21_trace_matches_golden() {
+    let fig = fig21_baselines::run(Scenario::Two);
+    let mut s = String::new();
+    s.push_str("{\"densevlc_curve\":[");
+    for (i, p) in fig.densevlc_curve.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        write!(
+            s,
+            "{{\"power_w\":{},\"per_rx_bps\":{},\"system_bps\":{},\"objective\":{},\"active_txs\":{}}}",
+            jnum(p.power_w),
+            jlist(&p.per_rx_bps),
+            jnum(p.system_bps),
+            jnum(p.objective),
+            p.active_txs
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "],\"siso\":{},\"dmiso\":{},\"densevlc_power_at_dmiso_w\":{},\
+         \"efficiency_gain\":{},\"throughput_gain_vs_siso\":{}}}",
+        jpair(fig.siso),
+        jpair(fig.dmiso),
+        jnum(fig.densevlc_power_at_dmiso_w),
+        jnum(fig.efficiency_gain),
+        jnum(fig.throughput_gain_vs_siso)
+    )
+    .unwrap();
+    check("fig21.json", &s);
+}
