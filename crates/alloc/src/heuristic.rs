@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use vlc_channel::ChannelMatrix;
 use vlc_led::{power::dynamic_resistance, LedParams};
 use vlc_telemetry::Registry;
+use vlc_trace::Span;
 
 /// Configuration of the ranking heuristic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -202,20 +203,45 @@ pub fn heuristic_allocation_instrumented(
     config: &HeuristicConfig,
     telemetry: &Registry,
 ) -> Allocation {
+    heuristic_allocation_traced(channel, led, budget_w, config, telemetry, &Span::noop())
+}
+
+/// [`heuristic_allocation_instrumented`] recording an
+/// `alloc.heuristic.solve` span under `parent`, with `alloc.heuristic.rank`
+/// and `alloc.heuristic.allocate` children for the two phases of
+/// Algorithm 1. With a noop parent this is the instrumented path plus one
+/// branch per span site.
+pub fn heuristic_allocation_traced(
+    channel: &ChannelMatrix,
+    led: &LedParams,
+    budget_w: f64,
+    config: &HeuristicConfig,
+    telemetry: &Registry,
+    parent: &Span,
+) -> Allocation {
+    let solve = parent.child("alloc.heuristic.solve");
+    solve.attr("kappa", &format!("{}", config.kappa));
+    solve.attr("budget_w", &format!("{budget_w}"));
     let _solve_span = telemetry.span("alloc.heuristic.solve_s");
     telemetry.counter("alloc.heuristic.solves").inc();
     telemetry
         .counter("alloc.heuristic.candidates")
         .add((channel.n_tx() * channel.n_rx()) as u64);
-    let ranking = rank_by_sjr(channel, config);
-    let alloc = allocate_by_ranking(
-        &ranking,
-        channel.n_tx(),
-        channel.n_rx(),
-        led,
-        budget_w,
-        config,
-    );
+    let ranking = {
+        let _rank = solve.child("alloc.heuristic.rank");
+        rank_by_sjr(channel, config)
+    };
+    let alloc = {
+        let _allocate = solve.child("alloc.heuristic.allocate");
+        allocate_by_ranking(
+            &ranking,
+            channel.n_tx(),
+            channel.n_rx(),
+            led,
+            budget_w,
+            config,
+        )
+    };
     if alloc.active_tx_count() == 0 {
         telemetry.counter("alloc.heuristic.infeasible").inc();
         telemetry.event(

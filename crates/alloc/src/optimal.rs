@@ -23,6 +23,12 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vlc_par::{Jobs, Pool};
 use vlc_telemetry::Registry;
+use vlc_trace::Span;
+
+/// Ascent iterations per `alloc.optimal.iters` child span: fine enough to
+/// see where a start spends its time, coarse enough that a full solve adds
+/// only a handful of records per start.
+const ITER_BATCH: usize = 50;
 
 /// Solver configuration.
 ///
@@ -132,7 +138,26 @@ impl OptimalSolver {
         telemetry: &Registry,
         jobs: Jobs,
     ) -> SolveReport {
+        self.solve_traced_jobs(model, budget_w, telemetry, jobs, &Span::noop())
+    }
+
+    /// [`Self::solve_instrumented_jobs`] recording an `alloc.optimal.solve`
+    /// span under `parent`, with one `alloc.optimal.start` child per ascent
+    /// start (indexed by start, so the span tree is worker-count
+    /// independent) and an `alloc.optimal.iters` grandchild per batch of
+    /// 50 ascent iterations. With a noop parent this is the
+    /// instrumented path plus one branch per span site.
+    pub fn solve_traced_jobs(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        telemetry: &Registry,
+        jobs: Jobs,
+        parent: &Span,
+    ) -> SolveReport {
         assert!(budget_w > 0.0, "power budget must be positive");
+        let trace = parent.child("alloc.optimal.solve");
+        trace.attr("budget_w", &format!("{budget_w}"));
         let _solve_span = telemetry.span("alloc.optimal.solve_s");
         telemetry.counter("alloc.optimal.solves").inc();
         let n_tx = model.n_tx();
@@ -181,14 +206,18 @@ impl OptimalSolver {
         telemetry
             .counter("alloc.optimal.starts")
             .add(starts.len() as u64);
+        trace.attr("starts", &starts.len().to_string());
         // Fan the independent ascents out, then reduce in start order: the
         // incumbent only changes on a strictly greater objective, so ties
         // keep the lowest start index — same as the sequential loop.
         let pool = Pool::new(jobs).with_telemetry(telemetry);
         let ascents = pool.map_indexed(starts.len(), |i| {
+            let start_span = trace.child_indexed("alloc.optimal.start", i);
             let mut start = starts[i].clone();
             self.project(model, &mut start, budget_w);
-            self.ascend(model, start, budget_w)
+            let out = self.ascend(model, start, budget_w, &start_span);
+            start_span.attr("iters", &out.2.to_string());
+            out
         });
         for (alloc, obj, iters, evals) in ascents {
             total_iters += iters;
@@ -264,12 +293,22 @@ impl OptimalSolver {
         model: &SystemModel,
         mut x: Allocation,
         budget_w: f64,
+        span: &Span,
     ) -> (Allocation, f64, usize, usize) {
         let mut f = model.sum_log_throughput(&x);
         let mut step = 0.1 * model.led.max_swing;
         let mut iters = 0;
         let mut evals = 1;
-        for _ in 0..self.max_iters {
+        // RAII handle for the current iteration batch: reassigning it every
+        // ITER_BATCH iterations closes the previous batch span. Underscore
+        // name because on the untraced path the handle is never read.
+        let mut _batch = Span::noop();
+        for it in 0..self.max_iters {
+            if span.is_enabled() && it % ITER_BATCH == 0 {
+                let b = span.child("alloc.optimal.iters");
+                b.attr("from_iter", &it.to_string());
+                _batch = b;
+            }
             iters += 1;
             let grad = self.gradient(model, &x);
             let gnorm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();

@@ -1,0 +1,117 @@
+//! Compares two BENCH.json files (written by `run_all --bench-out`) and
+//! exits nonzero when the new run regresses past the noise band — the CI
+//! perf-regression gate.
+//!
+//! A phase regresses when its new median exceeds the old median by more
+//! than `max(rel·old_median, mad_k·old_MAD, abs_floor)`; phases present in
+//! only one file are skipped, and improvements never flag. Exit status:
+//! 0 = no regression, 1 = at least one phase regressed, 2 = usage or
+//! parse error.
+
+use vlc_trace::{BenchReport, CompareTolerance};
+
+const USAGE: &str = "\
+bench_compare — BENCH.json perf-regression gate
+
+USAGE:
+    bench_compare OLD.json NEW.json [--rel F] [--mad-k F] [--abs-floor S]
+
+ARGS:
+    OLD.json        Baseline BENCH.json (e.g. from the main branch).
+    NEW.json        Candidate BENCH.json to gate.
+
+OPTIONS:
+    --rel F         Relative tolerance on the old median (default 0.2).
+    --mad-k F       Multiples of the old MAD tolerated (default 5.0).
+    --abs-floor S   Absolute noise floor in seconds (default 0.002);
+                    shields micro-phases from flagging on scheduler noise.
+    -h, --help      Print this help.
+
+EXIT STATUS:
+    0  no phase regressed beyond the noise band
+    1  at least one phase regressed (each is printed)
+    2  usage error or unreadable/invalid BENCH.json
+";
+
+struct Options {
+    old_path: String,
+    new_path: String,
+    tol: CompareTolerance,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut tol = CompareTolerance::default();
+    let mut args = std::env::args().skip(1);
+    let float = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<f64, String> {
+        let v = args.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite() && *f >= 0.0)
+            .ok_or(format!("bad {flag} value `{v}`"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--rel" => tol.rel = float(&mut args, "--rel")?,
+            "--mad-k" => tol.mad_k = float(&mut args, "--mad-k")?,
+            "--abs-floor" => tol.abs_floor_s = float(&mut args, "--abs-floor")?,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            _ => paths.push(arg),
+        }
+    }
+    match <[String; 2]>::try_from(paths) {
+        Ok([old_path, new_path]) => Ok(Options {
+            old_path,
+            new_path,
+            tol,
+        }),
+        Err(_) => Err("expected exactly two BENCH.json paths".to_string()),
+    }
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let (old, new) = match (load(&opts.old_path), load(&opts.new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let regressions = old.compare(&new, &opts.tol);
+    if regressions.is_empty() {
+        println!(
+            "bench_compare: OK — no phase regressed ({} vs {})",
+            opts.old_path, opts.new_path
+        );
+        return;
+    }
+    println!(
+        "bench_compare: {} phase(s) regressed ({} vs {}):",
+        regressions.len(),
+        opts.old_path,
+        opts.new_path
+    );
+    for r in &regressions {
+        println!(
+            "  {:<32} {:>12.6}s -> {:>12.6}s (threshold {:+.6}s)",
+            r.name, r.old_median_s, r.new_median_s, r.threshold_s
+        );
+    }
+    std::process::exit(1);
+}

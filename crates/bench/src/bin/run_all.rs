@@ -6,19 +6,35 @@
 //! output is byte-identical for any worker count (`--jobs 1` is the exact
 //! legacy sequential run). `--telemetry summary` appends the per-job span
 //! table (`bench.<name>.run_s`) and the pool's per-worker metrics.
+//!
+//! `--bench-out FILE` additionally times the run with `vlc-trace` spans and
+//! writes a `densevlc-bench/1` BENCH.json (per-phase median/MAD/min/max,
+//! see `docs/BENCHMARKING.md`); `--bench-repeat N` repeats the workload to
+//! tighten the medians. `--trace FILE` writes the same spans as a Chrome
+//! Trace Event file loadable in Perfetto. Neither flag changes the printed
+//! reports: repeats beyond the first only feed the timing statistics.
 
 use densevlc::experiments::*;
+use densevlc::{Simulation, System};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vlc_alloc::heuristic::heuristic_allocation_traced;
+use vlc_alloc::{HeuristicConfig, OptimalSolver};
 use vlc_bench::{budget_sweep, rate_sweep};
+use vlc_channel::ChannelMatrix;
 use vlc_led::LedParams;
 use vlc_par::{Jobs, Pool, JOBS_ENV};
+use vlc_sync::NlosSyncLink;
 use vlc_telemetry::Registry;
-use vlc_testbed::Scenario;
+use vlc_testbed::{Deployment, Scenario};
+use vlc_trace::{BenchReport, Tracer};
 
 const USAGE: &str = "\
 run_all — regenerate the full DenseVLC evaluation (every table and figure)
 
 USAGE:
-    run_all [--jobs N] [--telemetry FORMAT]
+    run_all [--jobs N] [--telemetry FORMAT] [--trace FILE]
+            [--bench-out FILE] [--bench-repeat N]
 
 OPTIONS:
     --jobs N            Worker count for the experiment job set and the
@@ -30,6 +46,15 @@ OPTIONS:
                         reports are byte-identical for every worker count.
     --telemetry FORMAT  Append run telemetry: `summary` (per-job span and
                         per-worker tables), `json`, or `csv`.
+    --trace FILE        Record causal spans for the whole run and write
+                        them as Chrome Trace Event JSON (open in Perfetto
+                        or chrome://tracing).
+    --bench-out FILE    Write per-phase timing statistics (median/MAD/
+                        min/max over repeats) as BENCH.json; compare two
+                        such files with `bench_compare`.
+    --bench-repeat N    Repeat the workload N times (default 1) to tighten
+                        the BENCH medians. Reports print once; repeats
+                        beyond the first only feed the statistics.
     -h, --help          Print this help.
 ";
 
@@ -147,11 +172,17 @@ enum TelemetryFormat {
 struct Options {
     jobs: Jobs,
     telemetry: Option<TelemetryFormat>,
+    trace: Option<String>,
+    bench_out: Option<String>,
+    bench_repeat: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut jobs: Option<Jobs> = None;
     let mut telemetry = None;
+    let mut trace = None;
+    let mut bench_out = None;
+    let mut bench_repeat = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -172,13 +203,84 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("bad --telemetry format `{other}`")),
                 });
             }
+            "--trace" => {
+                trace = Some(args.next().ok_or("--trace needs a file path")?);
+            }
+            "--bench-out" => {
+                bench_out = Some(args.next().ok_or("--bench-out needs a file path")?);
+            }
+            "--bench-repeat" => {
+                let v = args.next().ok_or("--bench-repeat needs a count")?;
+                bench_repeat = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad --bench-repeat value `{v}`"))?;
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(Options {
         jobs: jobs.unwrap_or_else(Jobs::from_env),
         telemetry,
+        trace,
+        bench_out,
+        bench_repeat,
     })
+}
+
+/// Times the library's standard phases once under a `bench.phase_probe`
+/// root, so BENCH.json carries comparable per-phase rows (`channel.sound`,
+/// `alloc.heuristic.solve`, `alloc.optimal.solve`, `sim.adapt`, `sim.run`,
+/// `sync.link_build`, `sync.pilot_detect`, …) next to the whole-experiment
+/// rows. Scenario 2 at the paper's 1.2 W budget is the reference workload.
+fn phase_probe(tracer: &Tracer, jobs: Jobs) {
+    let probe = tracer.root("bench.phase_probe");
+    let quiet = Registry::noop();
+    let dep = Deployment::scenario(Scenario::Two);
+    ChannelMatrix::compute_with_blockage_traced(
+        &dep.grid,
+        &dep.receivers,
+        dep.half_power_semi_angle,
+        &dep.optics,
+        &[],
+        jobs,
+        &probe,
+    );
+    heuristic_allocation_traced(
+        &dep.model.channel,
+        &LedParams::cree_xte_paper(),
+        1.2,
+        &HeuristicConfig::paper(),
+        &quiet,
+        &probe,
+    );
+    OptimalSolver::quick().solve_traced_jobs(&dep.model, 1.2, &quiet, jobs, &probe);
+    System::scenario(Scenario::Two, 1.2).adapt_traced(&quiet, &probe);
+    Simulation::new(Deployment::scenario(Scenario::Two), 1.2, 0.25).run_traced(0.6, &quiet, &probe);
+    let link = NlosSyncLink::between_traced(
+        &dep.grid.pose(1),
+        &dep.grid.pose(2),
+        &dep.room,
+        dep.half_power_semi_angle,
+        &dep.optics,
+        &probe,
+    );
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    for frame in 0..4 {
+        let round = probe.child_indexed("sync.pilot_round", frame);
+        link.detect_traced(&mut rng, &quiet, &round);
+    }
+}
+
+fn write_file(path: &str, contents: &str, what: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("wrote {what} to {path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {what} to {path}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
@@ -196,6 +298,13 @@ fn main() {
     let (set, extensions_at) = job_set();
     let registry = Registry::new();
     let pool = Pool::new(opts.jobs).with_telemetry(&registry);
+    let timing = opts.trace.is_some() || opts.bench_out.is_some();
+    let tracer = if timing {
+        Tracer::new()
+    } else {
+        Tracer::noop()
+    };
+    let repeats = if timing { opts.bench_repeat } else { 1 };
 
     println!(
         "==== DenseVLC (CoNEXT '18) — full evaluation reproduction ({} jobs, {} workers) ====\n",
@@ -203,15 +312,28 @@ fn main() {
         opts.jobs
     );
     let _wall = registry.span("bench.run_all_s");
-    let reports = pool.map_indexed(set.len(), |i| {
-        let (name, run) = &set[i];
-        let _span = registry.span(&format!("bench.{name}.run_s"));
-        let report = run();
-        registry.counter("bench.jobs_done").inc();
-        report
-    });
+    let mut first_reports: Option<Vec<String>> = None;
+    for _rep in 0..repeats {
+        let root = tracer.root("bench.run_all");
+        root.attr("jobs", &opts.jobs.get().to_string());
+        let reports = pool.map_indexed(set.len(), |i| {
+            let (name, run) = &set[i];
+            let trace_span = root.child_indexed(&format!("experiment.{name}"), i);
+            let _span = registry.span(&format!("bench.{name}.run_s"));
+            let report = run();
+            registry.counter("bench.jobs_done").inc();
+            drop(trace_span);
+            report
+        });
+        drop(root);
+        if timing {
+            phase_probe(&tracer, opts.jobs);
+        }
+        first_reports.get_or_insert(reports);
+    }
     drop(_wall);
 
+    let reports = first_reports.expect("at least one repeat ran");
     for (i, report) in reports.iter().enumerate() {
         if i == extensions_at {
             println!("---- extensions (paper §9 future work) ----\n");
@@ -225,6 +347,17 @@ fn main() {
             TelemetryFormat::Json => println!("{}", snap.to_json()),
             TelemetryFormat::Csv => println!("{}", snap.to_csv()),
             TelemetryFormat::Summary => println!("{}", snap.summary_table()),
+        }
+    }
+
+    if timing {
+        let snapshot = tracer.snapshot();
+        if let Some(path) = &opts.bench_out {
+            let report = BenchReport::from_snapshot(&snapshot, opts.jobs.get(), repeats);
+            write_file(path, &report.to_json(), "BENCH.json");
+        }
+        if let Some(path) = &opts.trace {
+            write_file(path, &snapshot.to_chrome_json(), "Chrome trace");
         }
     }
 }

@@ -1,0 +1,135 @@
+//! End-to-end tests of the perf-regression gate: `run_all --bench-out`
+//! writes a parseable `densevlc-bench/1` report and `bench_compare` exits
+//! 0 / 1 / 2 for pass / regression / usage error.
+
+use std::path::PathBuf;
+use std::process::Command;
+use vlc_telemetry::ManualClock;
+use vlc_trace::{parse_chrome_json, BenchReport, Tracer};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("densevlc-bench-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A synthetic two-phase BENCH.json where `phase.a` takes `a_s` seconds.
+fn synthetic_bench(a_s: f64) -> String {
+    let clock = ManualClock::new();
+    let tracer = Tracer::with_clock(clock.clone());
+    let a = tracer.root("phase.a");
+    clock.advance(a_s);
+    drop(a);
+    let b = tracer.root("phase.b");
+    clock.advance(0.05);
+    drop(b);
+    BenchReport::from_snapshot(&tracer.snapshot(), 1, 1).to_json()
+}
+
+fn compare(old: &PathBuf, new: &PathBuf) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .arg(old)
+        .arg(new)
+        .output()
+        .expect("bench_compare runs")
+}
+
+#[test]
+fn same_file_passes_the_gate() {
+    let path = tmp("same.json");
+    std::fs::write(&path, synthetic_bench(0.1)).unwrap();
+    let out = compare(&path, &path);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+}
+
+#[test]
+fn synthetic_regression_fails_the_gate() {
+    let old = tmp("old.json");
+    let new = tmp("new.json");
+    std::fs::write(&old, synthetic_bench(0.1)).unwrap();
+    std::fs::write(&new, synthetic_bench(1.0)).unwrap();
+    let out = compare(&old, &new);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("phase.a"),
+        "regressed phase named: {stdout}"
+    );
+    assert!(!stdout.contains("phase.b"), "unchanged phase not flagged");
+}
+
+#[test]
+fn improvements_never_flag() {
+    let old = tmp("imp_old.json");
+    let new = tmp("imp_new.json");
+    std::fs::write(&old, synthetic_bench(1.0)).unwrap();
+    std::fs::write(&new, synthetic_bench(0.1)).unwrap();
+    assert_eq!(compare(&old, &new).status.code(), Some(0));
+}
+
+#[test]
+fn usage_and_parse_errors_exit_2() {
+    let no_args = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .output()
+        .unwrap();
+    assert_eq!(no_args.status.code(), Some(2));
+
+    let garbage = tmp("garbage.json");
+    std::fs::write(&garbage, "{\"schema\": \"wrong/9\"}").unwrap();
+    let out = compare(&garbage, &garbage);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    let missing = tmp("does-not-exist.json");
+    let ok = tmp("ok.json");
+    std::fs::write(&ok, synthetic_bench(0.1)).unwrap();
+    assert_eq!(compare(&missing, &ok).status.code(), Some(2));
+}
+
+#[test]
+fn run_all_bench_out_is_parseable_and_gates_itself() {
+    let bench = tmp("run_all_bench.json");
+    let trace = tmp("run_all_trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args(["--jobs", "1", "--bench-out"])
+        .arg(&bench)
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .expect("run_all runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The printed reports stay on stdout, untouched by the bench flags.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("full evaluation reproduction"));
+    assert!(
+        !stdout.contains("densevlc-bench/1"),
+        "BENCH goes to the file"
+    );
+
+    let report = BenchReport::from_json(&std::fs::read_to_string(&bench).unwrap())
+        .expect("BENCH.json parses");
+    // Whole-run, per-experiment, and probe phases are all present.
+    for phase in [
+        "bench.run_all",
+        "bench.phase_probe",
+        "experiment.complexity",
+        "channel.sound",
+        "alloc.heuristic.solve",
+        "alloc.optimal.solve",
+        "sim.adapt",
+        "sync.pilot_detect",
+    ] {
+        assert!(report.stats(phase).is_some(), "missing phase {phase}");
+    }
+
+    let events = parse_chrome_json(&std::fs::read_to_string(&trace).unwrap())
+        .expect("trace is valid Chrome Trace JSON");
+    assert!(events.iter().any(|e| e.name == "mac.plan"));
+
+    // A report always passes the gate against itself.
+    assert_eq!(compare(&bench, &bench).status.code(), Some(0));
+}

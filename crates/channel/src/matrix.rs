@@ -5,6 +5,7 @@ use crate::lambertian::{lambertian_order, los_gain, RxOptics};
 use serde::{Deserialize, Serialize};
 use vlc_geom::{Pose, TxGrid};
 use vlc_par::{Jobs, Pool};
+use vlc_trace::Span;
 
 /// Line-of-sight path gains `H[tx][rx]` for every TX/RX pair.
 ///
@@ -88,10 +89,40 @@ impl ChannelMatrix {
         blockers: &[CylinderBlocker],
         jobs: Jobs,
     ) -> Self {
+        Self::compute_with_blockage_traced(
+            grid,
+            receivers,
+            half_power_semi_angle,
+            optics,
+            blockers,
+            jobs,
+            &Span::noop(),
+        )
+    }
+
+    /// [`Self::compute_with_blockage_par`] recording a `channel.sound`
+    /// span under `parent`, with one `channel.sound.row` child per TX row
+    /// (indexed by TX, so the span tree is identical for any worker
+    /// count). With a noop parent this is the uninstrumented path plus one
+    /// branch per span site.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_with_blockage_traced(
+        grid: &TxGrid,
+        receivers: &[Pose],
+        half_power_semi_angle: f64,
+        optics: &RxOptics,
+        blockers: &[CylinderBlocker],
+        jobs: Jobs,
+        parent: &Span,
+    ) -> Self {
         let m = lambertian_order(half_power_semi_angle);
         let n_tx = grid.len();
         let n_rx = receivers.len();
+        let sound = parent.child("channel.sound");
+        sound.attr("n_tx", &n_tx.to_string());
+        sound.attr("n_rx", &n_rx.to_string());
         let rows = Pool::new(jobs).map_indexed(n_tx, |t| {
+            let _row = sound.child_indexed("channel.sound.row", t);
             let tx = grid.pose(t);
             receivers
                 .iter()

@@ -18,6 +18,7 @@ use crate::lambertian::RxOptics;
 use serde::{Deserialize, Serialize};
 use vlc_geom::{Pose, Room, Vec3};
 use vlc_par::{Jobs, Pool};
+use vlc_trace::Span;
 
 /// Configuration for the single-bounce integration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,11 +72,33 @@ pub fn floor_bounce_gain_par(
     cfg: &NlosConfig,
     jobs: Jobs,
 ) -> f64 {
+    floor_bounce_gain_traced(tx, rx, lambertian_m, optics, room, cfg, jobs, &Span::noop())
+}
+
+/// [`floor_bounce_gain_par`] recording a `channel.nlos.floor` span under
+/// `parent`, with one `channel.nlos.floor.row` child per quadrature row
+/// (indexed by row, so the span tree is worker-count independent). With a
+/// noop parent this is the uninstrumented path plus one branch per span
+/// site.
+#[allow(clippy::too_many_arguments)]
+pub fn floor_bounce_gain_traced(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+    jobs: Jobs,
+    parent: &Span,
+) -> f64 {
     assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
     let da = cfg.patch_size_m * cfg.patch_size_m;
     let nx = (room.width / cfg.patch_size_m).ceil() as usize;
     let ny = (room.depth / cfg.patch_size_m).ceil() as usize;
+    let floor = parent.child("channel.nlos.floor");
+    floor.attr("rows", &ny.to_string());
     let row_sums = Pool::new(jobs).map_indexed(ny, |iy| {
+        let _row = floor.child_indexed("channel.nlos.floor.row", iy);
         let mut row = 0.0;
         for ix in 0..nx {
             let w = Vec3::new(
@@ -123,6 +146,23 @@ pub fn wall_bounce_gain_par(
     cfg: &NlosConfig,
     jobs: Jobs,
 ) -> f64 {
+    wall_bounce_gain_traced(tx, rx, lambertian_m, optics, room, cfg, jobs, &Span::noop())
+}
+
+/// [`wall_bounce_gain_par`] recording a `channel.nlos.wall` span under
+/// `parent`, with one `channel.nlos.wall.col` child per wall column
+/// (indexed by column, so the span tree is worker-count independent).
+#[allow(clippy::too_many_arguments)]
+pub fn wall_bounce_gain_traced(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+    jobs: Jobs,
+    parent: &Span,
+) -> f64 {
     assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
     let da = cfg.patch_size_m * cfg.patch_size_m;
     // Each wall: (origin, horizontal axis, extent along it, inward normal).
@@ -151,7 +191,10 @@ pub fn wall_bounce_gain_par(
             (0..nu).map(move |iu| (origin, axis, normal, iu))
         })
         .collect();
+    let wall = parent.child("channel.nlos.wall");
+    wall.attr("cols", &columns.len().to_string());
     let column_sums = Pool::new(jobs).map_indexed(columns.len(), |c| {
+        let _col = wall.child_indexed("channel.nlos.wall.col", c);
         let (origin, axis, normal, iu) = columns[c];
         let mut col = 0.0;
         for iz in 0..nz {

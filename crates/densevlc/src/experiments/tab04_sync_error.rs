@@ -14,6 +14,7 @@ use vlc_phy::manchester::manchester_encode;
 use vlc_sync::{ClockModel, NlosSyncLink, SyncScheme};
 use vlc_telemetry::Registry;
 use vlc_testbed::Scope;
+use vlc_trace::Span;
 
 /// The Table 4 result, all values in seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,20 +65,31 @@ pub fn run(frames: usize, seed: u64) -> Tab04 {
 /// `sync.pilot_detections` / `sync.pilot_misses`) and publishes the state
 /// of a representative follower clock (`sync.offset_s`, `sync.drift_ppm`).
 pub fn run_instrumented(frames: usize, seed: u64, telemetry: &Registry) -> Tab04 {
+    run_traced(frames, seed, telemetry, &Span::noop())
+}
+
+/// [`run_instrumented`] recording the pilot probe under `parent`: a
+/// `sync.link_build` span for the floor-bounce link construction, then one
+/// `sync.pilot_round` child per frame (indexed by frame) wrapping the
+/// traced detector. With a noop parent this is the instrumented path plus
+/// one branch per span site.
+pub fn run_traced(frames: usize, seed: u64, telemetry: &Registry, parent: &Span) -> Tab04 {
     let result = run(frames, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4);
     ClockModel::beaglebone(&mut rng).observe(telemetry);
     let room = Room::paper_testbed();
     let grid = TxGrid::paper(&room);
-    let link = NlosSyncLink::between(
+    let link = NlosSyncLink::between_traced(
         &grid.pose(1),
         &grid.pose(2),
         &room,
         15f64.to_radians(),
         &RxOptics::paper(),
+        parent,
     );
-    for _ in 0..frames {
-        link.detect_instrumented(&mut rng, telemetry);
+    for frame in 0..frames {
+        let round = parent.child_indexed("sync.pilot_round", frame);
+        link.detect_traced(&mut rng, telemetry, &round);
     }
     result
 }

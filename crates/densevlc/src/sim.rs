@@ -15,6 +15,7 @@ use vlc_geom::Pose;
 use vlc_mac::{BeamspotPlan, Controller, ControllerConfig};
 use vlc_telemetry::{MetricsSnapshot, Registry};
 use vlc_testbed::{AcroPositioner, Deployment};
+use vlc_trace::Span;
 
 /// A person walking waypoints while occluding light.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -193,10 +194,22 @@ impl Simulation {
     /// `sim.rx{i}.bps` gauges track the latest tick. With a live registry
     /// the returned [`Timeline`] embeds the end-of-run snapshot.
     pub fn run_instrumented(&mut self, duration_s: f64, telemetry: &Registry) -> Timeline {
+        self.run_traced(duration_s, telemetry, &Span::noop())
+    }
+
+    /// [`Self::run_instrumented`] recording a `sim.run` span under
+    /// `parent`, with one `sim.tick` child per tick (indexed by step) and
+    /// the controller's `mac.plan` tree nested inside re-planning ticks.
+    /// With a noop parent this is the instrumented path plus one branch
+    /// per span site.
+    pub fn run_traced(&mut self, duration_s: f64, telemetry: &Registry, parent: &Span) -> Timeline {
         assert!(duration_s > 0.0, "duration must be positive");
+        let run = parent.child("sim.run");
+        run.attr("duration_s", &format!("{duration_s}"));
         let steps = (duration_s / self.tick_s).ceil() as usize;
         let mut ticks = Vec::with_capacity(steps);
         for step in 0..steps {
+            let tick_trace = run.child_indexed("sim.tick", step);
             let _tick_span = telemetry.span("sim.tick_s");
             telemetry.counter("sim.ticks").inc();
             let t_s = step as f64 * self.tick_s;
@@ -224,7 +237,11 @@ impl Simulation {
             self.time_since_replan_s += self.tick_s;
             let mut replanned = false;
             if self.time_since_replan_s >= self.adaptation_period_s || self.plan.is_none() {
-                self.plan = Some(self.controller.plan_instrumented(&world.channel, telemetry));
+                self.plan = Some(self.controller.plan_traced(
+                    &world.channel,
+                    telemetry,
+                    &tick_trace,
+                ));
                 self.time_since_replan_s = 0.0;
                 replanned = true;
                 telemetry.counter("mac.replans").inc();

@@ -5,6 +5,7 @@ use vlc_alloc::analysis::SweepPoint;
 use vlc_mac::{BeamspotPlan, Controller, ControllerConfig};
 use vlc_telemetry::Registry;
 use vlc_testbed::{Deployment, Scenario};
+use vlc_trace::Span;
 
 /// The outcome of one adaptation round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,10 +57,19 @@ impl System {
     /// phases, and publishes `sim.system_bps`, `sim.power_w`, and one
     /// `sim.rx{i}.bps` gauge per receiver.
     pub fn adapt_instrumented(&mut self, telemetry: &Registry) -> AdaptationRound {
+        self.adapt_traced(telemetry, &Span::noop())
+    }
+
+    /// [`Self::adapt_instrumented`] recording a `sim.adapt` span under
+    /// `parent`, with the controller's `mac.plan` tree nested inside. With
+    /// a noop parent this is the instrumented path plus one branch per
+    /// span site.
+    pub fn adapt_traced(&mut self, telemetry: &Registry, parent: &Span) -> AdaptationRound {
+        let adapt = parent.child("sim.adapt");
         let _adapt_span = telemetry.span("sim.adapt_s");
         let plan = self
             .controller
-            .plan_instrumented(&self.deployment.model.channel, telemetry);
+            .plan_traced(&self.deployment.model.channel, telemetry, &adapt);
         let per_rx_bps = self.deployment.model.throughput(&plan.allocation);
         let round = AdaptationRound {
             power_w: self.deployment.model.comm_power(&plan.allocation),
@@ -74,6 +84,8 @@ impl System {
         for (i, &bps) in round.per_rx_bps.iter().enumerate() {
             telemetry.gauge(&format!("sim.rx{i}.bps")).set(bps);
         }
+        adapt.attr("system_bps", &format!("{:.3}", round.system_throughput_bps));
+        adapt.attr("power_w", &format!("{:.6}", round.power_w));
         round
     }
 

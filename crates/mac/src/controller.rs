@@ -14,6 +14,7 @@ use vlc_alloc::HeuristicConfig;
 use vlc_channel::ChannelMatrix;
 use vlc_led::LedParams;
 use vlc_telemetry::Registry;
+use vlc_trace::Span;
 
 /// One CFM-MIMO beamspot: the TXs jointly serving one receiver.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -171,15 +172,32 @@ impl Controller {
     /// when the budget serves no receiver — a `mac.infeasible_rounds` count
     /// plus an `infeasible_round` event.
     pub fn plan_instrumented(&self, channel: &ChannelMatrix, telemetry: &Registry) -> BeamspotPlan {
+        self.plan_traced(channel, telemetry, &Span::noop())
+    }
+
+    /// [`Self::plan_instrumented`] recording a `mac.plan` span under
+    /// `parent`, with `mac.rank` and `mac.allocate` children for the two
+    /// decision phases. With a noop parent this is the instrumented path
+    /// plus one branch per span site.
+    pub fn plan_traced(
+        &self,
+        channel: &ChannelMatrix,
+        telemetry: &Registry,
+        parent: &Span,
+    ) -> BeamspotPlan {
         assert_eq!(channel.n_tx(), self.n_tx);
         assert_eq!(channel.n_rx(), self.n_rx);
+        let plan_trace = parent.child("mac.plan");
+        plan_trace.attr("budget_w", &format!("{}", self.config.budget_w));
         let _plan_span = telemetry.span("mac.plan_s");
         telemetry.counter("mac.rounds_planned").inc();
         let ranking = {
+            let _rank_trace = plan_trace.child("mac.rank");
             let _rank_span = telemetry.span("mac.rank_s");
             rank_by_sjr(channel, &self.config.heuristic)
         };
         let allocation = {
+            let _allocate_trace = plan_trace.child("mac.allocate");
             let _allocate_span = telemetry.span("mac.allocate_s");
             allocate_by_ranking(
                 &ranking,
@@ -214,6 +232,7 @@ impl Controller {
                 &[("budget_w", &format!("{}", self.config.budget_w))],
             );
         }
+        plan_trace.attr("beamspots", &beamspots.len().to_string());
         BeamspotPlan {
             beamspots,
             allocation,
@@ -318,6 +337,36 @@ mod tests {
                 "{phase} not timed"
             );
         }
+    }
+
+    #[test]
+    fn traced_plan_records_the_phase_tree() {
+        use vlc_telemetry::ManualClock;
+        use vlc_trace::Tracer;
+
+        let ctl = controller(1.2);
+        let tracer = Tracer::with_clock(ManualClock::new());
+        let root = tracer.root("round");
+        ctl.plan_traced(&channel(), &Registry::noop(), &root);
+        drop(root);
+        let snap = tracer.snapshot();
+        let plan = snap.find("mac.plan").expect("plan span recorded");
+        let phases: Vec<&str> = snap
+            .children_of(plan.id)
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(phases, ["mac.rank", "mac.allocate"]);
+        assert!(plan.attrs.iter().any(|(k, _)| k == "beamspots"));
+    }
+
+    #[test]
+    fn untraced_plan_records_no_spans() {
+        let ctl = controller(1.2);
+        // The default path: noop registry and noop parent span. Nothing
+        // may be recorded anywhere — this is the zero-cost opt-out.
+        let plan = ctl.plan_instrumented(&channel(), &Registry::noop());
+        assert!(!plan.beamspots.is_empty());
     }
 
     #[test]

@@ -96,6 +96,12 @@ impl Pool {
         }
         self.telemetry.counter("par.spawns").add(workers as u64);
 
+        // Tag each worker thread with a trace lane derived from the
+        // spawning thread's lane, so spans opened inside `f` land on
+        // per-worker tracks in trace exports. Lane assignment is
+        // scheduling metadata only — span identity and tree shape stay
+        // independent of it.
+        let track_base = vlc_trace::current_track();
         let next = AtomicUsize::new(0);
         let mut computed: Vec<(usize, T)> = Vec::with_capacity(n);
         let mut panics: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
@@ -106,6 +112,7 @@ impl Pool {
                     let next = &next;
                     let telemetry = &self.telemetry;
                     scope.spawn(move || {
+                        vlc_trace::set_current_track(vlc_trace::worker_track(track_base, w));
                         let _busy = telemetry.span("par.worker.busy_s");
                         let items = telemetry.counter(&format!("par.worker{w}.items"));
                         let mut ok: Vec<(usize, T)> = Vec::new();
@@ -360,5 +367,38 @@ mod tests {
     #[should_panic(expected = "chunk size must be positive")]
     fn zero_chunk_panics() {
         Pool::sequential().fold_chunks(4, 0, || 0usize, |a, i| a + i, |a, b| a + b);
+    }
+
+    #[test]
+    fn workers_open_spans_on_worker_lanes() {
+        use vlc_telemetry::ManualClock;
+        use vlc_trace::{worker_track, Tracer};
+
+        let tracer = Tracer::with_clock(ManualClock::new());
+        let root = tracer.root("fanout");
+        let pool = Pool::new(Jobs::of(3));
+        pool.map_indexed(9, |i| drop(root.child_indexed("item", i)));
+        drop(root);
+
+        let snap = tracer.snapshot();
+        assert_eq!(snap.spans_named("item").count(), 9);
+        // Every item span was opened on one of the three worker lanes
+        // spawned from the main lane (track 0).
+        let lanes: Vec<u32> = (0..3).map(|w| worker_track(0, w)).collect();
+        assert!(snap.spans_named("item").all(|s| lanes.contains(&s.track)));
+        // The span *tree* stays lane-independent: ids are structural.
+        assert_eq!(snap.children_of(snap.find("fanout").unwrap().id).len(), 9);
+    }
+
+    #[test]
+    fn sequential_path_keeps_the_caller_lane() {
+        use vlc_telemetry::ManualClock;
+        use vlc_trace::Tracer;
+
+        let tracer = Tracer::with_clock(ManualClock::new());
+        let root = tracer.root("seq");
+        Pool::sequential().map_indexed(3, |i| drop(root.child_indexed("item", i)));
+        drop(root);
+        assert!(tracer.snapshot().spans_named("item").all(|s| s.track == 0));
     }
 }

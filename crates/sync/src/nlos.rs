@@ -10,11 +10,13 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use vlc_channel::nlos::{floor_bounce_gain, NlosConfig};
+use vlc_channel::nlos::{floor_bounce_gain, floor_bounce_gain_traced, NlosConfig};
 use vlc_channel::{NoiseParams, RxOptics};
 use vlc_geom::{Pose, Room};
 use vlc_led::{power::optical_swing_amplitude, LedParams};
+use vlc_par::Jobs;
 use vlc_telemetry::Registry;
+use vlc_trace::Span;
 
 /// Outcome of a pilot-detection attempt at one follower.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,9 +54,44 @@ impl NlosSyncLink {
         half_power_semi_angle: f64,
         optics: &RxOptics,
     ) -> Self {
+        Self::between_traced(
+            leader,
+            follower,
+            room,
+            half_power_semi_angle,
+            optics,
+            &Span::noop(),
+        )
+    }
+
+    /// [`Self::between`] recording a `sync.link_build` span under `parent`
+    /// that wraps the floor-bounce quadrature (whose `channel.nlos.floor`
+    /// span nests inside). With a noop parent this is the uninstrumented
+    /// path plus one branch per span site.
+    pub fn between_traced(
+        leader: &Pose,
+        follower: &Pose,
+        room: &Room,
+        half_power_semi_angle: f64,
+        optics: &RxOptics,
+        parent: &Span,
+    ) -> Self {
+        let build = parent.child("sync.link_build");
         let m = vlc_channel::lambertian::lambertian_order(half_power_semi_angle);
-        let bounce_gain =
-            floor_bounce_gain(leader, follower, m, optics, room, &NlosConfig::default());
+        let bounce_gain = if build.is_enabled() {
+            floor_bounce_gain_traced(
+                leader,
+                follower,
+                m,
+                optics,
+                room,
+                &NlosConfig::default(),
+                Jobs::from_env(),
+                &build,
+            )
+        } else {
+            floor_bounce_gain(leader, follower, m, optics, room, &NlosConfig::default())
+        };
         NlosSyncLink {
             bounce_gain,
             led: LedParams::cree_xte_paper(),
@@ -99,7 +136,23 @@ impl NlosSyncLink {
         rng: &mut R,
         telemetry: &Registry,
     ) -> PilotDetection {
+        self.detect_traced(rng, telemetry, &Span::noop())
+    }
+
+    /// [`Self::detect_instrumented`] recording a `sync.pilot_detect` span
+    /// under `parent` carrying the detection outcome as attributes. With a
+    /// noop parent this is the instrumented path plus one branch per span
+    /// site.
+    pub fn detect_traced<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        telemetry: &Registry,
+        parent: &Span,
+    ) -> PilotDetection {
+        let span = parent.child("sync.pilot_detect");
         let detection = self.detect(rng);
+        span.attr("detected", &detection.detected.to_string());
+        span.attr("snr", &format!("{:.6e}", detection.snr));
         telemetry.gauge("sync.pilot_snr").set(detection.snr);
         if detection.detected {
             telemetry.counter("sync.pilot_detections").inc();

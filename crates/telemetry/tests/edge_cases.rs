@@ -1,0 +1,89 @@
+//! Edge cases of the telemetry primitives: quantiles of empty and
+//! single-sample histograms, event-ring eviction order, and the drop
+//! counter at exact-capacity fills.
+
+use vlc_telemetry::{ManualClock, Registry};
+
+#[test]
+fn empty_histogram_reports_all_zero_quantiles() {
+    let registry = Registry::new();
+    let snap = registry.histogram("empty").snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.sum, 0.0);
+    assert_eq!(snap.min, 0.0);
+    assert_eq!(snap.max, 0.0);
+    assert_eq!((snap.p50, snap.p95, snap.p99), (0.0, 0.0, 0.0));
+    assert_eq!(snap.mean(), 0.0, "mean of nothing is 0, not NaN");
+    // Equality stays well-behaved (no NaN anywhere).
+    assert_eq!(snap, Default::default());
+}
+
+#[test]
+fn single_sample_histogram_puts_every_quantile_on_the_sample() {
+    let registry = Registry::new();
+    let h = registry.histogram("one");
+    h.record(0.125);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1);
+    assert_eq!(snap.min, 0.125);
+    assert_eq!(snap.max, 0.125);
+    // Quantiles clamp to [min, max], so with one sample every quantile IS
+    // that sample — not a bucket upper bound near it.
+    assert_eq!(snap.p50, 0.125);
+    assert_eq!(snap.p95, 0.125);
+    assert_eq!(snap.p99, 0.125);
+    assert_eq!(snap.mean(), 0.125);
+}
+
+#[test]
+fn extreme_samples_clamp_into_the_outer_buckets() {
+    let registry = Registry::new();
+    let h = registry.histogram("extremes");
+    h.record(0.0); // underflow bucket
+    h.record(-3.0); // clamps to 0
+    h.record(1e300); // far past the last bucket edge
+    h.record(f64::NAN); // ignored entirely
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 3, "NaN is not recorded");
+    assert_eq!(snap.min, 0.0);
+    assert_eq!(snap.max, 1e300);
+    // Quantiles stay within the observed range even for clamped samples.
+    assert!(snap.p99 <= snap.max && snap.p50 >= snap.min);
+}
+
+#[test]
+fn event_ring_evicts_oldest_first_and_keeps_arrival_order() {
+    let clock = ManualClock::new();
+    let registry = Registry::with_clock_and_capacity(clock.clone(), 3);
+    for i in 0..5 {
+        clock.advance(1.0);
+        registry.event("test", &format!("k{i}"), &[("i", &i.to_string())]);
+    }
+    let snap = registry.snapshot();
+    // Capacity 3 after 5 events: k0 and k1 were evicted, oldest first.
+    assert_eq!(snap.events_dropped, 2);
+    let kinds: Vec<&str> = snap.events.iter().map(|e| e.kind.as_str()).collect();
+    assert_eq!(kinds, ["k2", "k3", "k4"]);
+    // Timestamps stay monotonically increasing across the survivors.
+    assert!(snap.events.windows(2).all(|w| w[0].t_s < w[1].t_s));
+}
+
+#[test]
+fn filling_exactly_to_capacity_drops_nothing() {
+    let clock = ManualClock::new();
+    let registry = Registry::with_clock_and_capacity(clock, 4);
+    for i in 0..4 {
+        registry.event("test", &format!("k{i}"), &[]);
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.events.len(), 4);
+    assert_eq!(snap.events_dropped, 0, "exact fill evicts nothing");
+
+    // One more event crosses the boundary: exactly one drop.
+    registry.event("test", "k4", &[]);
+    let snap = registry.snapshot();
+    assert_eq!(snap.events.len(), 4);
+    assert_eq!(snap.events_dropped, 1);
+    assert_eq!(snap.events.first().unwrap().kind, "k1");
+    assert_eq!(snap.events.last().unwrap().kind, "k4");
+}

@@ -1,0 +1,201 @@
+//! Plain-data view of a finished trace: lookups, the canonical tree
+//! rendering, and deepest-chain extraction.
+
+use crate::span::SpanRecord;
+
+/// Every finished span at snapshot time, in deterministic order, plus the
+/// number of records the ring evicted (0 in any run small enough to care
+/// about determinism).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSnapshot {
+    /// Finished spans sorted by `(start, parent, seq, name, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Records evicted by ring overflow.
+    pub dropped: u64,
+}
+
+impl TraceSnapshot {
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The first span with this name, in snapshot order.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// All spans with this name, in snapshot order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Root spans (parent id 0), in sibling order.
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.children_of(0)
+    }
+
+    /// Children of the span with id `parent`, sorted by `(start, seq,
+    /// name, id)` — sibling order that is deterministic under
+    /// `ManualClock` regardless of which workers ran them.
+    pub fn children_of(&self, parent: u64) -> Vec<&SpanRecord> {
+        let mut children: Vec<&SpanRecord> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent_id == parent)
+            .collect();
+        children.sort_by(|a, b| {
+            a.start_s
+                .total_cmp(&b.start_s)
+                .then(a.seq.cmp(&b.seq))
+                .then(a.name.cmp(&b.name))
+                .then(a.id.cmp(&b.id))
+        });
+        children
+    }
+
+    /// The canonical tree rendering: names, attributes, and timings in
+    /// nesting order. Tracks (worker lanes) are deliberately **excluded**
+    /// — they are scheduling metadata, and this string is the determinism
+    /// contract's unit of comparison (identical for jobs ∈ {1, max} under
+    /// `ManualClock`).
+    pub fn tree_string(&self) -> String {
+        let mut out = String::new();
+        for root in self.roots() {
+            self.render(root, 0, &mut out);
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "({} spans dropped by ring overflow)\n",
+                self.dropped
+            ));
+        }
+        out
+    }
+
+    fn render(&self, span: &SpanRecord, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&span.name);
+        for (k, v) in &span.attrs {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push_str(&format!(
+            " @{:.9}s +{:.9}s\n",
+            span.start_s,
+            span.duration_s()
+        ));
+        for child in self.children_of(span.id) {
+            self.render(child, depth + 1, out);
+        }
+    }
+
+    /// The `k` deepest root→leaf chains as `a → b → c` strings, deepest
+    /// first (ties broken lexicographically) — a quick "where does the
+    /// causality bottom out" summary for examples and logs.
+    pub fn deepest_chains(&self, k: usize) -> Vec<String> {
+        let mut chains: Vec<(usize, String)> = Vec::new();
+        for root in self.roots() {
+            self.collect_chains(root, &mut Vec::new(), &mut chains);
+        }
+        chains.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        chains.into_iter().take(k).map(|(_, c)| c).collect()
+    }
+
+    fn collect_chains<'a>(
+        &'a self,
+        span: &'a SpanRecord,
+        path: &mut Vec<&'a str>,
+        chains: &mut Vec<(usize, String)>,
+    ) {
+        path.push(&span.name);
+        let children = self.children_of(span.id);
+        if children.is_empty() {
+            chains.push((path.len(), path.join(" → ")));
+        } else {
+            for child in children {
+                self.collect_chains(child, path, chains);
+            }
+        }
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+    use vlc_telemetry::ManualClock;
+
+    fn sample() -> TraceSnapshot {
+        let clock = ManualClock::new();
+        let tracer = Tracer::with_clock(clock.clone());
+        let root = tracer.root("round");
+        root.attr("budget_w", "1.2");
+        clock.advance(1.0);
+        {
+            let plan = root.child("plan");
+            clock.advance(0.5);
+            {
+                let rank = plan.child("rank");
+                clock.advance(0.25);
+                drop(rank);
+            }
+            drop(plan);
+        }
+        drop(root.child_indexed("item", 1));
+        drop(root.child_indexed("item", 0));
+        drop(root);
+        tracer.snapshot()
+    }
+
+    #[test]
+    fn tree_renders_nesting_attrs_and_times() {
+        let tree = sample().tree_string();
+        // The two `item` siblings share a start time; index order (seq)
+        // breaks the tie, so the rendering is stable.
+        let expected = concat!(
+            "round budget_w=1.2 @0.000000000s +1.750000000s\n",
+            "  plan @1.000000000s +0.750000000s\n",
+            "    rank @1.500000000s +0.250000000s\n",
+            "  item @1.750000000s +0.000000000s\n",
+            "  item @1.750000000s +0.000000000s\n",
+        );
+        assert_eq!(tree, expected);
+    }
+
+    #[test]
+    fn deepest_chains_rank_by_depth() {
+        let chains = sample().deepest_chains(2);
+        assert_eq!(chains[0], "round → plan → rank");
+        assert_eq!(chains[1], "round → item");
+        assert_eq!(sample().deepest_chains(99).len(), 3);
+    }
+
+    #[test]
+    fn lookups_and_sibling_order() {
+        let snap = sample();
+        assert_eq!(snap.len(), 5);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.roots().len(), 1);
+        assert_eq!(snap.spans_named("item").count(), 2);
+        let root_id = snap.find("round").unwrap().id;
+        let kids = snap.children_of(root_id);
+        assert_eq!(kids.len(), 3);
+        // `item 0` sorts before `item 1` via seq despite equal start times
+        // and reversed creation order.
+        assert_eq!(kids[1].seq + 1, kids[2].seq);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Tracer::with_clock(ManualClock::new()).snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.tree_string(), "");
+        assert!(snap.deepest_chains(3).is_empty());
+    }
+}

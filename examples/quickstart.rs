@@ -69,6 +69,9 @@ fn main() {
     );
 
     // What the system just did, by the numbers: planning phase timings,
-    // round counts, and the latest per-receiver throughput gauges.
+    // round counts, and the latest per-receiver throughput gauges. For the
+    // causal view of the same round — a span tree loadable in Perfetto —
+    // see `cargo run --example trace_tour` or `densevlc-cli adapt --trace
+    // trace.json`.
     println!("\n{}", telemetry.snapshot().summary_table());
 }

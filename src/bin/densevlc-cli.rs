@@ -14,6 +14,11 @@
 //! records metrics into a live registry and appends the chosen rendering
 //! after the command's normal output (`densevlc-cli --telemetry summary`
 //! alone runs an adaptation round and prints its summary table).
+//! `--telemetry-out <file>` redirects that rendering to a file instead
+//! (format from `--telemetry`, JSON when only the file is given), and
+//! `--trace <file>` records causal spans for the whole command and writes
+//! them as Chrome Trace Event JSON, loadable in Perfetto or
+//! chrome://tracing.
 //!
 //! Argument parsing is std-only on purpose: the reproduction's dependency
 //! set stays at the approved crates.
@@ -21,8 +26,10 @@
 use densevlc::experiments::{fig05_illuminance, fig21_baselines, tab04_sync_error, tab05_iperf};
 use densevlc::System;
 use vlc_led::LedParams;
+use vlc_par::Jobs;
 use vlc_telemetry::Registry;
 use vlc_testbed::Scenario;
+use vlc_trace::{Span, Tracer};
 
 /// Telemetry rendering requested on the command line.
 #[derive(Clone, Copy, PartialEq)]
@@ -35,23 +42,31 @@ enum TelemetryFormat {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let format = telemetry_arg(&mut args);
-    let telemetry = if format.is_some() {
+    let telemetry_out = path_arg(&mut args, "--telemetry-out");
+    let trace_out = path_arg(&mut args, "--trace");
+    let telemetry = if format.is_some() || telemetry_out.is_some() {
         Registry::new()
     } else {
         Registry::noop()
     };
-    // With `--telemetry` and no command, default to an adaptation round so
-    // the registry has something to show.
+    let tracer = if trace_out.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::noop()
+    };
+    // With `--telemetry`/`--telemetry-out`/`--trace` and no command,
+    // default to an adaptation round so there is something to record.
     let cmd = match args.first().map(String::as_str) {
         Some(c) => c,
-        None if format.is_some() => "adapt",
+        None if format.is_some() || telemetry_out.is_some() || trace_out.is_some() => "adapt",
         None => "help",
     };
+    let root = tracer.root(&format!("cli.{cmd}"));
     match cmd {
-        "adapt" => adapt(rest(&args), &telemetry),
-        "map" => map(rest(&args), &telemetry),
+        "adapt" => adapt(rest(&args), &telemetry, &root),
+        "map" => map(rest(&args), &telemetry, &root),
         "lux" => lux(),
-        "sync" => sync(&telemetry),
+        "sync" => sync(&telemetry, &root),
         "iperf" => iperf(rest(&args), &telemetry),
         "faceoff" => faceoff(rest(&args)),
         "help" | "--help" | "-h" => help(),
@@ -61,14 +76,35 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if let Some(format) = format {
+    drop(root);
+    if let Some(path) = &trace_out {
+        write_file(path, &tracer.snapshot().to_chrome_json(), "Chrome trace");
+    }
+    if format.is_some() || telemetry_out.is_some() {
         let snapshot = telemetry.snapshot();
-        match format {
-            TelemetryFormat::Json => println!("{}", snapshot.to_json()),
-            TelemetryFormat::Csv => print!("{}", snapshot.to_csv()),
-            TelemetryFormat::Summary => print!("\n{}", snapshot.summary_table()),
+        // A bare `--telemetry-out FILE` means JSON; an explicit format
+        // applies to the file just as it would to stdout.
+        let rendered = match format.unwrap_or(TelemetryFormat::Json) {
+            TelemetryFormat::Json => snapshot.to_json() + "\n",
+            TelemetryFormat::Csv => snapshot.to_csv(),
+            TelemetryFormat::Summary => snapshot.summary_table(),
+        };
+        match &telemetry_out {
+            Some(path) => write_file(path, &rendered, "telemetry"),
+            None => match format {
+                Some(TelemetryFormat::Summary) => print!("\n{rendered}"),
+                _ => print!("{rendered}"),
+            },
         }
     }
+}
+
+fn write_file(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("error: cannot write {what} to {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote {what} to {path}");
 }
 
 /// The argument slice after the command word (empty when the command was
@@ -101,6 +137,18 @@ fn telemetry_arg(args: &mut Vec<String>) -> Option<TelemetryFormat> {
     Some(format)
 }
 
+/// Extracts `<flag> <path>` from anywhere in the argument list, removing
+/// both tokens.
+fn path_arg(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    let Some(path) = args.get(i + 1).cloned() else {
+        eprintln!("{flag} expects a file path");
+        std::process::exit(2);
+    };
+    args.drain(i..=i + 1);
+    Some(path)
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
@@ -120,13 +168,13 @@ fn scenario_arg(args: &[String]) -> Scenario {
     }
 }
 
-fn adapt(args: &[String], telemetry: &Registry) {
+fn adapt(args: &[String], telemetry: &Registry, parent: &Span) {
     let scenario = scenario_arg(args);
     let budget: f64 = flag_value(args, "--budget")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.2);
     let mut system = System::scenario(scenario, budget);
-    let round = system.adapt_instrumented(telemetry);
+    let round = system.adapt_traced(telemetry, parent);
     println!("{} @ {budget} W", scenario.label());
     for spot in &round.plan.beamspots {
         let txs: Vec<String> = spot
@@ -150,17 +198,23 @@ fn adapt(args: &[String], telemetry: &Registry) {
     // Fig. 11's cost gap: time both allocators on the same channel so the
     // summary shows optimal vs heuristic wall-time side by side. The
     // optimal solver rejects a non-positive budget, so skip the probe.
-    if telemetry.is_enabled() && budget > 0.0 {
+    if (telemetry.is_enabled() || parent.is_enabled()) && budget > 0.0 {
         let model = &system.deployment.model;
-        let heuristic = vlc_alloc::heuristic::heuristic_allocation_instrumented(
+        let heuristic = vlc_alloc::heuristic::heuristic_allocation_traced(
             &model.channel,
             &model.led,
             budget,
             &vlc_alloc::HeuristicConfig::paper(),
             telemetry,
+            parent,
         );
-        let optimal =
-            vlc_alloc::OptimalSolver::quick().solve_instrumented(model, budget, telemetry);
+        let optimal = vlc_alloc::OptimalSolver::quick().solve_traced_jobs(
+            model,
+            budget,
+            telemetry,
+            Jobs::from_env(),
+            parent,
+        );
         println!(
             "solver objectives (sum-log): heuristic {:.3}, optimal {:.3} in {} iterations",
             model.sum_log_throughput(&heuristic),
@@ -172,13 +226,13 @@ fn adapt(args: &[String], telemetry: &Registry) {
 
 /// Renders the ceiling grid with per-TX beamspot membership and the
 /// receiver positions as an ASCII floor plan.
-fn map(args: &[String], telemetry: &Registry) {
+fn map(args: &[String], telemetry: &Registry, parent: &Span) {
     let scenario = scenario_arg(args);
     let budget: f64 = flag_value(args, "--budget")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.2);
     let mut system = System::scenario(scenario, budget);
-    let round = system.adapt_instrumented(telemetry);
+    let round = system.adapt_traced(telemetry, parent);
     let grid = &system.deployment.grid;
 
     // Per-TX glyph: the digit of the served RX, or '.' for illumination.
@@ -229,10 +283,10 @@ fn lux() {
     );
 }
 
-fn sync(telemetry: &Registry) {
+fn sync(telemetry: &Registry, parent: &Span) {
     print!(
         "{}",
-        tab04_sync_error::run_instrumented(150, 0x11, telemetry).report()
+        tab04_sync_error::run_traced(150, 0x11, telemetry, parent).report()
     );
 }
 
@@ -264,7 +318,11 @@ fn help() {
          help                                     this text\n\n\
          OPTIONS:\n  \
          --telemetry <json|csv|summary>           record metrics during the run\n  \
-         \x20                                        and append them to the output\n\n\
+         \x20                                        and append them to the output\n  \
+         --telemetry-out <file>                   write the telemetry rendering to\n  \
+         \x20                                        a file instead (default json)\n  \
+         --trace <file>                           record causal spans and write\n  \
+         \x20                                        Chrome Trace JSON (Perfetto)\n\n\
          Full per-figure binaries live in the vlc-bench crate:\n  \
          cargo run --release -p vlc-bench --bin run_all"
     );

@@ -1,0 +1,115 @@
+//! Smoke tests of the `densevlc-cli` binary's observability flags:
+//! `--trace` writes Perfetto-loadable Chrome Trace JSON with the
+//! plan→rank→allocate tree and per-worker lanes, `--telemetry-out`
+//! redirects the telemetry rendering to a file without touching stdout.
+
+use std::path::PathBuf;
+use std::process::Command;
+use vlc_trace::parse_chrome_json;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("densevlc-cli-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_densevlc-cli"))
+}
+
+#[test]
+fn adapt_trace_writes_a_perfetto_loadable_span_tree() {
+    let trace = tmp("adapt_trace.json");
+    let out = cli()
+        .args(["adapt", "--trace"])
+        .arg(&trace)
+        // Force two workers so the optimal solver's fan-out exercises the
+        // per-worker lanes even on a single-core machine.
+        .env("DENSEVLC_JOBS", "2")
+        .output()
+        .expect("densevlc-cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The trace goes to the file; stdout keeps the normal report.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("system:"), "normal report intact: {stdout}");
+    assert!(!stdout.contains("traceEvents"));
+
+    let events = parse_chrome_json(&std::fs::read_to_string(&trace).unwrap())
+        .expect("valid Chrome Trace JSON");
+    let complete: Vec<_> = events.iter().filter(|e| e.ph == "X").collect();
+
+    // The causal tree: cli.adapt → sim.adapt → mac.plan → {mac.rank,
+    // mac.allocate}, each child nested inside its parent's ids.
+    let find = |name: &str| {
+        complete
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("span {name} in trace"))
+    };
+    let cli_root = find("cli.adapt");
+    let sim = find("sim.adapt");
+    let plan = find("mac.plan");
+    let rank = find("mac.rank");
+    let alloc = find("mac.allocate");
+    assert_eq!(sim.arg("parent_id"), cli_root.arg("span_id"));
+    assert_eq!(plan.arg("parent_id"), sim.arg("span_id"));
+    assert_eq!(rank.arg("parent_id"), plan.arg("span_id"));
+    assert_eq!(alloc.arg("parent_id"), plan.arg("span_id"));
+
+    // Per-worker lanes: the solver's multi-start fan-out runs on worker
+    // tids (≥1), with thread-name metadata rows declaring each lane.
+    let starts: Vec<_> = complete
+        .iter()
+        .filter(|e| e.name == "alloc.optimal.start")
+        .collect();
+    assert!(!starts.is_empty(), "solver probe traced");
+    assert!(
+        starts.iter().any(|e| e.tid >= 1),
+        "solver starts land on worker lanes"
+    );
+    assert!(events
+        .iter()
+        .any(|e| e.ph == "M" && e.name == "thread_name"));
+}
+
+#[test]
+fn telemetry_out_writes_the_chosen_format_off_stdout() {
+    // Default format: JSON.
+    let json_path = tmp("telemetry.json");
+    let out = cli()
+        .args(["adapt", "--telemetry-out"])
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("counters"), "telemetry off stdout");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"counters\"") && json.contains("mac.rounds_planned"));
+
+    // Explicit format applies to the file: csv.
+    let csv_path = tmp("telemetry.csv");
+    let out = cli()
+        .args(["adapt", "--telemetry", "csv", "--telemetry-out"])
+        .arg(&csv_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.lines().count() > 3, "csv has rows: {csv}");
+    assert!(csv.contains("mac.rounds_planned"));
+}
+
+#[test]
+fn default_run_emits_no_observability_artifacts() {
+    let out = cli().arg("adapt").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("traceEvents"));
+    assert!(!stdout.contains("\"counters\""));
+    assert!(String::from_utf8_lossy(&out.stderr).is_empty());
+}
