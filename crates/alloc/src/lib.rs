@@ -33,4 +33,4 @@ pub use baselines::{dmiso_allocation, siso_allocation};
 pub use exhaustive::exhaustive_binary;
 pub use heuristic::{rank_by_sjr, HeuristicConfig, RankedTx};
 pub use model::{Allocation, SystemModel};
-pub use optimal::{OptimalSolver, SolveReport};
+pub use optimal::{OptimalSolver, SolveReport, WarmOptimal};

@@ -155,6 +155,61 @@ impl OptimalSolver {
         jobs: Jobs,
         parent: &Span,
     ) -> SolveReport {
+        self.solve_core(model, budget_w, telemetry, jobs, parent, None)
+    }
+
+    /// [`Self::solve`] seeded with a previous allocation (projected back
+    /// onto the feasible set) as an extra ascent start.
+    ///
+    /// On a mobility tick the channel changes slightly, so the previous
+    /// plan is usually in the optimum's basin: the warm start converges in
+    /// a few iterations and — being start 0 in the tie-keeps-lowest-index
+    /// reduction — wins ties, keeping plans stable across ticks. With
+    /// `warm: None` this is exactly [`Self::solve`].
+    pub fn solve_warm(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        warm: Option<&Allocation>,
+    ) -> SolveReport {
+        self.solve_warm_traced_jobs(
+            model,
+            budget_w,
+            warm,
+            &Registry::noop(),
+            Jobs::from_env(),
+            &Span::noop(),
+        )
+    }
+
+    /// [`Self::solve_warm`] with telemetry, an explicit worker count, and
+    /// tracing (see [`Self::solve_traced_jobs`]). A used seed bumps
+    /// `alloc.optimal.warm_starts` and tags the solve span `warm=true`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_warm_traced_jobs(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        warm: Option<&Allocation>,
+        telemetry: &Registry,
+        jobs: Jobs,
+        parent: &Span,
+    ) -> SolveReport {
+        self.solve_core(model, budget_w, telemetry, jobs, parent, warm)
+    }
+
+    /// The one solve implementation behind the cold and warm entry points:
+    /// with `warm: None` it is byte-for-byte the historical cold solve
+    /// (same starts, same spans, same counters).
+    fn solve_core(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        telemetry: &Registry,
+        jobs: Jobs,
+        parent: &Span,
+        warm: Option<&Allocation>,
+    ) -> SolveReport {
         assert!(budget_w > 0.0, "power budget must be positive");
         let trace = parent.child("alloc.optimal.solve");
         trace.attr("budget_w", &format!("{budget_w}"));
@@ -198,6 +253,18 @@ impl OptimalSolver {
             }
             self.project(model, &mut a, budget_w);
             starts.push(a);
+        }
+        // The warm seed goes first: the reduction keeps the lowest start
+        // index on ties, so an equally-good warm start wins and the plan
+        // stays stable across ticks.
+        if let Some(prev) = warm {
+            if prev.n_tx() == n_tx && prev.n_rx() == n_rx {
+                let mut a = prev.clone();
+                self.project(model, &mut a, budget_w);
+                starts.insert(0, a);
+                telemetry.counter("alloc.optimal.warm_starts").inc();
+                trace.attr("warm", "true");
+            }
         }
 
         let mut best: Option<(Allocation, f64)> = None;
@@ -461,6 +528,86 @@ impl OptimalSolver {
     }
 }
 
+/// Tick-to-tick replan cache around [`OptimalSolver`].
+///
+/// Remembers the channel, budget, and report of the previous solve. When
+/// the channel is *unchanged* (exact [`ChannelMatrix`] equality — the
+/// incremental engine reproduces bitwise-identical matrices for a static
+/// world, so this hits every quiet tick) the replan is skipped entirely
+/// and the previous report returned. Otherwise the solver runs seeded with
+/// the previous allocation via [`OptimalSolver::solve_warm`].
+///
+/// State is per-run: create one `WarmOptimal` per simulation run so replays
+/// start cold and stay reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct WarmOptimal {
+    last: Option<(vlc_channel::ChannelMatrix, f64, SolveReport)>,
+}
+
+impl WarmOptimal {
+    /// An empty cache: the first solve is cold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the cache holds a previous solve.
+    pub fn is_warm(&self) -> bool {
+        self.last.is_some()
+    }
+
+    /// Drops the cached solve; the next one runs cold.
+    pub fn invalidate(&mut self) {
+        self.last = None;
+    }
+
+    /// Solves `model` under `budget_w`, reusing or seeding from the
+    /// previous solve when possible.
+    pub fn solve(
+        &mut self,
+        solver: &OptimalSolver,
+        model: &SystemModel,
+        budget_w: f64,
+    ) -> SolveReport {
+        self.solve_traced_jobs(
+            solver,
+            model,
+            budget_w,
+            &Registry::noop(),
+            Jobs::from_env(),
+            &Span::noop(),
+        )
+    }
+
+    /// [`Self::solve`] with telemetry, an explicit worker count, and
+    /// tracing. An unchanged channel bumps `alloc.optimal.replan_hits`
+    /// and records an `alloc.optimal.cached` span instead of a solve; a
+    /// changed one runs [`OptimalSolver::solve_warm_traced_jobs`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_traced_jobs(
+        &mut self,
+        solver: &OptimalSolver,
+        model: &SystemModel,
+        budget_w: f64,
+        telemetry: &Registry,
+        jobs: Jobs,
+        parent: &Span,
+    ) -> SolveReport {
+        if let Some((channel, budget, report)) = &self.last {
+            if *channel == model.channel && *budget == budget_w {
+                telemetry.counter("alloc.optimal.replan_hits").inc();
+                let span = parent.child("alloc.optimal.cached");
+                span.attr("budget_w", &format!("{budget_w}"));
+                return report.clone();
+            }
+        }
+        let warm = self.last.as_ref().map(|(_, _, r)| r.allocation.clone());
+        let report =
+            solver.solve_warm_traced_jobs(model, budget_w, warm.as_ref(), telemetry, jobs, parent);
+        self.last = Some((model.channel.clone(), budget_w, report.clone()));
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -667,5 +814,93 @@ mod tests {
     fn zero_budget_panics() {
         let m = two_rx_model();
         OptimalSolver::quick().solve(&m, 0.0);
+    }
+
+    #[test]
+    fn warm_none_is_bitwise_identical_to_cold() {
+        let m = scenario2_model();
+        let solver = OptimalSolver::quick();
+        let cold = solver.solve(&m, 0.5);
+        let warm = solver.solve_warm(&m, 0.5, None);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn warm_seed_never_loses_to_cold() {
+        // The previous solution is one extra start: the warm solve's
+        // objective can only match or beat the cold one.
+        let m = scenario2_model();
+        let solver = OptimalSolver::quick();
+        let cold = solver.solve(&m, 0.5);
+        let warm = solver.solve_warm(&m, 0.5, Some(&cold.allocation));
+        assert!(
+            warm.objective >= cold.objective - 1e-12,
+            "warm {} < cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(m.is_feasible(&warm.allocation, 0.5));
+    }
+
+    #[test]
+    fn warm_seed_with_wrong_shape_is_ignored() {
+        let m = two_rx_model();
+        let solver = OptimalSolver::quick();
+        let foreign = Allocation::zeros(3, 3);
+        let telemetry = Registry::new();
+        solver.solve_warm_traced_jobs(
+            &m,
+            0.4,
+            Some(&foreign),
+            &telemetry,
+            Jobs::serial(),
+            &Span::noop(),
+        );
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("alloc.optimal.warm_starts"), None);
+    }
+
+    #[test]
+    fn warm_optimal_skips_replan_on_unchanged_channel() {
+        let m = two_rx_model();
+        let solver = OptimalSolver::quick();
+        let telemetry = Registry::new();
+        let mut cache = WarmOptimal::new();
+        let first =
+            cache.solve_traced_jobs(&solver, &m, 0.4, &telemetry, Jobs::serial(), &Span::noop());
+        let second =
+            cache.solve_traced_jobs(&solver, &m, 0.4, &telemetry, Jobs::serial(), &Span::noop());
+        assert_eq!(second, first, "cached replan returns the same report");
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("alloc.optimal.replan_hits"), Some(1));
+        assert_eq!(snap.counter("alloc.optimal.solves"), Some(1));
+    }
+
+    #[test]
+    fn warm_optimal_resolves_on_channel_or_budget_change() {
+        let solver = OptimalSolver::quick();
+        let telemetry = Registry::new();
+        let mut cache = WarmOptimal::new();
+        let m = two_rx_model();
+        cache.solve_traced_jobs(&solver, &m, 0.4, &telemetry, Jobs::serial(), &Span::noop());
+        // A different budget re-solves (seeded by the previous allocation).
+        cache.solve_traced_jobs(&solver, &m, 0.3, &telemetry, Jobs::serial(), &Span::noop());
+        // A perturbed channel re-solves too.
+        let bumped = SystemModel::paper(m.channel.map(|g| g * 1.01));
+        cache.solve_traced_jobs(
+            &solver,
+            &bumped,
+            0.3,
+            &telemetry,
+            Jobs::serial(),
+            &Span::noop(),
+        );
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("alloc.optimal.solves"), Some(3));
+        assert_eq!(snap.counter("alloc.optimal.warm_starts"), Some(2));
+        assert_eq!(snap.counter("alloc.optimal.replan_hits"), None);
+        // Invalidation forces the next solve cold.
+        cache.invalidate();
+        assert!(!cache.is_warm());
     }
 }

@@ -1,0 +1,150 @@
+//! One-command perf-regression gate: benchmark the current tree and
+//! compare it against the committed `BENCH.json` baseline.
+//!
+//! `cargo bench-gate` (aliased in `.cargo/config.toml`) spawns
+//! `run_all --bench-out` in release mode to produce a fresh BENCH.json,
+//! then applies the same tolerance test as `bench_compare`: a phase
+//! regresses when its new median exceeds the old median by more than
+//! `max(rel·old_median, mad_k·old_MAD, abs_floor)`. Phases present in
+//! only one file are skipped, and improvements never flag. Exit status:
+//! 0 = no regression, 1 = at least one phase regressed, 2 = usage,
+//! spawn, or parse error.
+
+use std::process::Command;
+
+use vlc_trace::{BenchReport, CompareTolerance};
+
+const USAGE: &str = "\
+bench_gate — benchmark the working tree and gate it against a baseline
+
+USAGE:
+    bench_gate [BASELINE.json] [--bench-repeat N] [--rel F] [--mad-k F] [--abs-floor S]
+
+ARGS:
+    BASELINE.json   Baseline to gate against (default: BENCH.json at the
+                    workspace root — the committed baseline).
+
+OPTIONS:
+    --bench-repeat N  Samples per phase for the fresh run (default 5).
+    --rel F           Relative tolerance on the old median (default 0.2).
+    --mad-k F         Multiples of the old MAD tolerated (default 5.0).
+    --abs-floor S     Absolute noise floor in seconds (default 0.002).
+    -h, --help        Print this help.
+
+EXIT STATUS:
+    0  no phase regressed beyond the noise band
+    1  at least one phase regressed (each is printed)
+    2  usage error, spawn failure, or unreadable/invalid BENCH.json
+";
+
+struct Options {
+    baseline: String,
+    repeat: u32,
+    tol: CompareTolerance,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut baseline: Option<String> = None;
+    let mut repeat = 5u32;
+    let mut tol = CompareTolerance::default();
+    let mut args = std::env::args().skip(1);
+    let float = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<f64, String> {
+        let v = args.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite() && *f >= 0.0)
+            .ok_or(format!("bad {flag} value `{v}`"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--bench-repeat" => {
+                let v = args.next().ok_or("--bench-repeat needs a value")?;
+                repeat = v
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or(format!("bad --bench-repeat value `{v}`"))?;
+            }
+            "--rel" => tol.rel = float(&mut args, "--rel")?,
+            "--mad-k" => tol.mad_k = float(&mut args, "--mad-k")?,
+            "--abs-floor" => tol.abs_floor_s = float(&mut args, "--abs-floor")?,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            _ if baseline.is_none() => baseline = Some(arg),
+            _ => return Err("expected at most one baseline path".to_string()),
+        }
+    }
+    Ok(Options {
+        baseline: baseline.unwrap_or_else(|| "BENCH.json".to_string()),
+        repeat,
+        tol,
+    })
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let fresh = std::env::temp_dir().join(format!("bench_gate_{}.json", std::process::id()));
+    let fresh_path = fresh.to_string_lossy().to_string();
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    println!(
+        "==== bench_gate: benchmarking working tree ({} samples/phase) ====",
+        opts.repeat
+    );
+    let status = Command::new(&cargo)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "vlc-bench",
+            "--bin",
+            "run_all",
+            "--",
+        ])
+        .args(["--bench-out", &fresh_path])
+        .args(["--bench-repeat", &opts.repeat.to_string()])
+        .status()
+        .expect("failed to spawn cargo run");
+    if !status.success() {
+        eprintln!("error: run_all --bench-out failed");
+        std::process::exit(2);
+    }
+    let (old, new) = match (load(&opts.baseline), load(&fresh_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let _ = std::fs::remove_file(&fresh);
+    let regressions = old.compare(&new, &opts.tol);
+    if regressions.is_empty() {
+        println!("bench_gate: OK — no phase regressed vs {}", opts.baseline);
+        return;
+    }
+    println!(
+        "bench_gate: {} phase(s) regressed vs {}:",
+        regressions.len(),
+        opts.baseline
+    );
+    for r in &regressions {
+        println!(
+            "  {:<32} {:>12.6}s -> {:>12.6}s (threshold {:+.6}s)",
+            r.name, r.old_median_s, r.new_median_s, r.threshold_s
+        );
+    }
+    std::process::exit(1);
+}

@@ -19,9 +19,10 @@ use densevlc::{Simulation, System};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vlc_alloc::heuristic::heuristic_allocation_traced;
-use vlc_alloc::{HeuristicConfig, OptimalSolver};
+use vlc_alloc::{HeuristicConfig, OptimalSolver, WarmOptimal};
 use vlc_bench::{budget_sweep, rate_sweep};
-use vlc_channel::ChannelMatrix;
+use vlc_channel::nlos::NlosConfig;
+use vlc_channel::{lambertian_order, ChannelMatrix, NlosTxCache};
 use vlc_led::LedParams;
 use vlc_par::{Jobs, Pool, JOBS_ENV};
 use vlc_sync::NlosSyncLink;
@@ -271,6 +272,31 @@ fn phase_probe(tracer: &Tracer, jobs: Jobs) {
         let round = probe.child_indexed("sync.pilot_round", frame);
         link.detect_traced(&mut rng, &quiet, &round);
     }
+
+    // Incremental-engine probes under their own root: they add *new* span
+    // names only (`channel.nlos.cache_build`, `channel.nlos.floor.cached`,
+    // `alloc.optimal.cached`, …) and sit outside `bench.phase_probe`, so
+    // pre-cache BENCH baselines stay comparable row for row.
+    drop(probe);
+    let probe = tracer.root("bench.incremental_probe");
+    let m = lambertian_order(dep.half_power_semi_angle);
+    let nlos_pool = Pool::new(jobs);
+    let cache = NlosTxCache::new_pooled(
+        &dep.grid.pose(1),
+        m,
+        &dep.room,
+        &NlosConfig::default(),
+        &nlos_pool,
+        &probe,
+    );
+    for follower in [2usize, 7, 8] {
+        cache.floor_gain_pooled(&dep.grid.pose(follower), &dep.optics, &nlos_pool, &probe);
+    }
+    let mut warm = WarmOptimal::new();
+    let solver = OptimalSolver::quick();
+    warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
+    // Unchanged channel: the replan is skipped (`alloc.optimal.cached`).
+    warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
 }
 
 fn write_file(path: &str, contents: &str, what: &str) {

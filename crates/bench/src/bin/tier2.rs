@@ -3,7 +3,10 @@
 //! `cargo tier2` (aliased in `.cargo/config.toml`) runs `cargo test -q`
 //! twice — once with `DENSEVLC_JOBS=1` (the exact sequential legacy path)
 //! and once with `DENSEVLC_JOBS=max` (full fan-out) — so a change that is
-//! only correct on one side of the determinism contract cannot land.
+//! only correct on one side of the determinism contract cannot land. The
+//! workspace suite includes the incremental-engine identity tests
+//! (`crates/channel/tests/cache_identity.rs`, `tests/sim_incremental.rs`),
+//! so cached-vs-cold bitwise equality is checked at both ends of the knob.
 
 use std::process::Command;
 

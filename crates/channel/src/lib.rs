@@ -20,20 +20,29 @@
 //!   receiver poses, the direct input of the allocation algorithms.
 //! * [`ambient`] — the DC photocurrent from the grid's bias illumination
 //!   and the shot noise it contributes.
+//! * [`nlos_cache`] — TX-side precomputation of the single-bounce source→
+//!   patch leg ([`NlosTxCache`]), bitwise identical to the direct
+//!   quadratures at roughly half the per-call cost.
+//! * [`incremental`] — dirty-column [`ChannelMatrix`] updates
+//!   ([`ChannelUpdater`]) that recompute only the receivers that moved.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ambient;
 pub mod blockage;
+pub mod incremental;
 pub mod lambertian;
 pub mod matrix;
 pub mod nlos;
+pub mod nlos_cache;
 pub mod noise;
 pub mod photometry;
 
 pub use blockage::CylinderBlocker;
+pub use incremental::{ChannelUpdate, ChannelUpdater};
 pub use lambertian::{lambertian_order, los_gain, RxOptics};
 pub use matrix::ChannelMatrix;
+pub use nlos_cache::NlosTxCache;
 pub use noise::{AwgnChannel, NoiseParams};
 pub use photometry::{IlluminanceMap, IlluminanceStats};

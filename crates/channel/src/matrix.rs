@@ -115,13 +115,37 @@ impl ChannelMatrix {
         jobs: Jobs,
         parent: &Span,
     ) -> Self {
+        Self::compute_with_blockage_pooled(
+            grid,
+            receivers,
+            half_power_semi_angle,
+            optics,
+            blockers,
+            &Pool::new(jobs),
+            parent,
+        )
+    }
+
+    /// [`Self::compute_with_blockage_traced`] on a caller-supplied [`Pool`],
+    /// so one pool can serve many matrix builds (and the NLOS quadratures)
+    /// instead of being rebuilt per call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_with_blockage_pooled(
+        grid: &TxGrid,
+        receivers: &[Pose],
+        half_power_semi_angle: f64,
+        optics: &RxOptics,
+        blockers: &[CylinderBlocker],
+        pool: &Pool,
+        parent: &Span,
+    ) -> Self {
         let m = lambertian_order(half_power_semi_angle);
         let n_tx = grid.len();
         let n_rx = receivers.len();
         let sound = parent.child("channel.sound");
         sound.attr("n_tx", &n_tx.to_string());
         sound.attr("n_rx", &n_rx.to_string());
-        let rows = Pool::new(jobs).map_indexed(n_tx, |t| {
+        let rows = pool.map_indexed(n_tx, |t| {
             let _row = sound.child_indexed("channel.sound.row", t);
             let tx = grid.pose(t);
             receivers

@@ -91,21 +91,41 @@ pub fn floor_bounce_gain_traced(
     jobs: Jobs,
     parent: &Span,
 ) -> f64 {
+    floor_bounce_gain_pooled(
+        tx,
+        rx,
+        lambertian_m,
+        optics,
+        room,
+        cfg,
+        &Pool::new(jobs),
+        parent,
+    )
+}
+
+/// [`floor_bounce_gain_traced`] on a caller-supplied [`Pool`], so one pool
+/// can serve many gain evaluations instead of being rebuilt per call.
+#[allow(clippy::too_many_arguments)]
+pub fn floor_bounce_gain_pooled(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+    pool: &Pool,
+    parent: &Span,
+) -> f64 {
     assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
     let da = cfg.patch_size_m * cfg.patch_size_m;
-    let nx = (room.width / cfg.patch_size_m).ceil() as usize;
-    let ny = (room.depth / cfg.patch_size_m).ceil() as usize;
+    let (nx, ny) = floor_grid(room, cfg);
     let floor = parent.child("channel.nlos.floor");
     floor.attr("rows", &ny.to_string());
-    let row_sums = Pool::new(jobs).map_indexed(ny, |iy| {
+    let row_sums = pool.map_indexed(ny, |iy| {
         let _row = floor.child_indexed("channel.nlos.floor.row", iy);
         let mut row = 0.0;
         for ix in 0..nx {
-            let w = Vec3::new(
-                (ix as f64 + 0.5) * cfg.patch_size_m,
-                (iy as f64 + 0.5) * cfg.patch_size_m,
-                0.0,
-            );
+            let w = floor_patch_center(cfg, ix, iy);
             row += patch_contribution(tx, rx, w, lambertian_m, optics, room.floor_reflectance);
         }
         row
@@ -163,8 +183,80 @@ pub fn wall_bounce_gain_traced(
     jobs: Jobs,
     parent: &Span,
 ) -> f64 {
+    wall_bounce_gain_pooled(
+        tx,
+        rx,
+        lambertian_m,
+        optics,
+        room,
+        cfg,
+        &Pool::new(jobs),
+        parent,
+    )
+}
+
+/// [`wall_bounce_gain_traced`] on a caller-supplied [`Pool`], so one pool
+/// can serve many gain evaluations instead of being rebuilt per call.
+#[allow(clippy::too_many_arguments)]
+pub fn wall_bounce_gain_pooled(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+    pool: &Pool,
+    parent: &Span,
+) -> f64 {
     assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
     let da = cfg.patch_size_m * cfg.patch_size_m;
+    let (columns, nz) = wall_columns(room, cfg);
+    let wall = parent.child("channel.nlos.wall");
+    wall.attr("cols", &columns.len().to_string());
+    let column_sums = pool.map_indexed(columns.len(), |c| {
+        let _col = wall.child_indexed("channel.nlos.wall.col", c);
+        let (origin, axis, normal, iu) = columns[c];
+        let mut col = 0.0;
+        for iz in 0..nz {
+            let w = wall_patch_center(cfg, origin, axis, iu, iz);
+            col += surface_patch_contribution(
+                tx,
+                rx,
+                w,
+                normal,
+                lambertian_m,
+                optics,
+                room.floor_reflectance,
+            );
+        }
+        col
+    });
+    column_sums.iter().sum::<f64>() * da
+}
+
+/// The floor quadrature grid `(nx, ny)` for a room and patch size.
+pub(crate) fn floor_grid(room: &Room, cfg: &NlosConfig) -> (usize, usize) {
+    let nx = (room.width / cfg.patch_size_m).ceil() as usize;
+    let ny = (room.depth / cfg.patch_size_m).ceil() as usize;
+    (nx, ny)
+}
+
+/// Center of floor patch `(ix, iy)`.
+pub(crate) fn floor_patch_center(cfg: &NlosConfig, ix: usize, iy: usize) -> Vec3 {
+    Vec3::new(
+        (ix as f64 + 0.5) * cfg.patch_size_m,
+        (iy as f64 + 0.5) * cfg.patch_size_m,
+        0.0,
+    )
+}
+
+/// The four walls' vertical columns flattened into one indexed work list
+/// (`(origin, horizontal axis, inward normal, iu)` per column) plus the
+/// per-column patch count `nz`.
+pub(crate) fn wall_columns(
+    room: &Room,
+    cfg: &NlosConfig,
+) -> (Vec<(Vec3, Vec3, Vec3, usize)>, usize) {
     // Each wall: (origin, horizontal axis, extent along it, inward normal).
     let walls: [(Vec3, Vec3, f64, Vec3); 4] = [
         (Vec3::ZERO, Vec3::X, room.width, Vec3::Y), // y = 0
@@ -183,7 +275,6 @@ pub fn wall_bounce_gain_traced(
         ), // x = width
     ];
     let nz = (room.height / cfg.patch_size_m).ceil() as usize;
-    // Flatten the four walls' columns into one indexed work list.
     let columns: Vec<(Vec3, Vec3, Vec3, usize)> = walls
         .iter()
         .flat_map(|&(origin, axis, extent, normal)| {
@@ -191,86 +282,32 @@ pub fn wall_bounce_gain_traced(
             (0..nu).map(move |iu| (origin, axis, normal, iu))
         })
         .collect();
-    let wall = parent.child("channel.nlos.wall");
-    wall.attr("cols", &columns.len().to_string());
-    let column_sums = Pool::new(jobs).map_indexed(columns.len(), |c| {
-        let _col = wall.child_indexed("channel.nlos.wall.col", c);
-        let (origin, axis, normal, iu) = columns[c];
-        let mut col = 0.0;
-        for iz in 0..nz {
-            let w = origin
-                + axis * ((iu as f64 + 0.5) * cfg.patch_size_m)
-                + Vec3::Z * ((iz as f64 + 0.5) * cfg.patch_size_m);
-            col += surface_patch_contribution(
-                tx,
-                rx,
-                w,
-                normal,
-                lambertian_m,
-                optics,
-                room.floor_reflectance,
-            );
-        }
-        col
-    });
-    column_sums.iter().sum::<f64>() * da
+    (columns, nz)
 }
 
-/// Contribution density (per m² of floor) of one patch center `w`.
-fn patch_contribution(
-    tx: &Pose,
-    rx: &Pose,
-    w: Vec3,
-    m: f64,
-    optics: &RxOptics,
-    reflectance: f64,
-) -> f64 {
-    // Leg 1: TX → patch.
-    let v1 = w - tx.position;
-    let d1_sq = v1.norm_sq();
-    if d1_sq < 1e-9 {
-        return 0.0;
-    }
-    let cos_phi1 = tx.cos_irradiation(w);
-    let cos_psi1 = (-v1.normalized()).dot(Vec3::UP); // against floor normal
-    if cos_phi1 <= 0.0 || cos_psi1 <= 0.0 {
-        return 0.0;
-    }
-    // Leg 2: patch → RX photodiode.
-    let v2 = rx.position - w;
-    let d2_sq = v2.norm_sq();
-    if d2_sq < 1e-9 {
-        return 0.0;
-    }
-    let cos_phi2 = v2.normalized().dot(Vec3::UP); // patch emits upward, order 1
-    let cos_psi2 = rx.cos_incidence(w);
-    if cos_phi2 <= 0.0 || cos_psi2 <= 0.0 {
-        return 0.0;
-    }
-    let psi2 = cos_psi2.clamp(-1.0, 1.0).acos();
-    let g = optics.gain(psi2);
-    if g == 0.0 {
-        return 0.0;
-    }
-    let first_leg = (m + 1.0) / (2.0 * std::f64::consts::PI * d1_sq) * cos_phi1.powf(m) * cos_psi1;
-    let second_leg =
-        optics.collection_area_m2 * g / (std::f64::consts::PI * d2_sq) * cos_phi2 * cos_psi2;
-    first_leg * reflectance * second_leg
+/// Center of wall patch `(iu, iz)` on the column anchored at `origin`.
+pub(crate) fn wall_patch_center(
+    cfg: &NlosConfig,
+    origin: Vec3,
+    axis: Vec3,
+    iu: usize,
+    iz: usize,
+) -> Vec3 {
+    origin
+        + axis * ((iu as f64 + 0.5) * cfg.patch_size_m)
+        + Vec3::Z * ((iz as f64 + 0.5) * cfg.patch_size_m)
 }
 
-/// Contribution density of one diffuse patch with an arbitrary surface
-/// normal (used for the wall integration; the floor path keeps its
-/// specialized routine above).
-fn surface_patch_contribution(
-    tx: &Pose,
-    rx: &Pose,
-    w: Vec3,
-    normal: Vec3,
-    m: f64,
-    optics: &RxOptics,
-    reflectance: f64,
-) -> f64 {
-    // Leg 1: TX → patch.
+/// Source→patch leg of the single-bounce integrand, *including* the surface
+/// reflectance: `(m+1)/(2π·d1²)·cosᵐ(φ1)·cos(ψ1) · ρ`, or exactly `0.0`
+/// when the patch is out of the emitter's half-space (the same early-outs
+/// as the fused integrand). Depends only on the TX pose and the patch, so
+/// it is the quantity [`crate::nlos_cache::NlosTxCache`] precomputes.
+///
+/// The fused product `first_leg · ρ · second_leg` evaluates left-to-right
+/// as `(first_leg · ρ) · second_leg`, so splitting here keeps the cached
+/// path bitwise identical to the direct one.
+pub(crate) fn patch_tx_leg(tx: &Pose, w: Vec3, normal: Vec3, m: f64, reflectance: f64) -> f64 {
     let v1 = w - tx.position;
     let d1_sq = v1.norm_sq();
     if d1_sq < 1e-9 {
@@ -281,7 +318,15 @@ fn surface_patch_contribution(
     if cos_phi1 <= 0.0 || cos_psi1 <= 0.0 {
         return 0.0;
     }
-    // Leg 2: patch → RX.
+    let first_leg = (m + 1.0) / (2.0 * std::f64::consts::PI * d1_sq) * cos_phi1.powf(m) * cos_psi1;
+    first_leg * reflectance
+}
+
+/// Patch→RX leg of the single-bounce integrand: the patch re-emits as an
+/// order-1 Lambertian toward the photodiode,
+/// `Apd·g(ψ2)/(π·d2²)·cos(φ2)·cos(ψ2)`, or exactly `0.0` on the same
+/// early-outs as the fused integrand.
+pub(crate) fn patch_rx_leg(rx: &Pose, w: Vec3, normal: Vec3, optics: &RxOptics) -> f64 {
     let v2 = rx.position - w;
     let d2_sq = v2.norm_sq();
     if d2_sq < 1e-9 {
@@ -297,10 +342,41 @@ fn surface_patch_contribution(
     if g == 0.0 {
         return 0.0;
     }
-    let first_leg = (m + 1.0) / (2.0 * std::f64::consts::PI * d1_sq) * cos_phi1.powf(m) * cos_psi1;
-    let second_leg =
-        optics.collection_area_m2 * g / (std::f64::consts::PI * d2_sq) * cos_phi2 * cos_psi2;
-    first_leg * reflectance * second_leg
+    optics.collection_area_m2 * g / (std::f64::consts::PI * d2_sq) * cos_phi2 * cos_psi2
+}
+
+/// Contribution density (per m² of floor) of one patch center `w`: the
+/// TX leg (with reflectance) times the RX leg, exactly the fused integrand
+/// of the original single-routine quadrature (`0.0 · x` and `x · 0.0` are
+/// `+0.0` for the finite non-negative legs, so the early-out paths are
+/// preserved bit for bit).
+fn patch_contribution(
+    tx: &Pose,
+    rx: &Pose,
+    w: Vec3,
+    m: f64,
+    optics: &RxOptics,
+    reflectance: f64,
+) -> f64 {
+    surface_patch_contribution(tx, rx, w, Vec3::UP, m, optics, reflectance)
+}
+
+/// Contribution density of one diffuse patch with an arbitrary surface
+/// normal (`Vec3::UP` recovers the floor case).
+fn surface_patch_contribution(
+    tx: &Pose,
+    rx: &Pose,
+    w: Vec3,
+    normal: Vec3,
+    m: f64,
+    optics: &RxOptics,
+    reflectance: f64,
+) -> f64 {
+    let tx_leg = patch_tx_leg(tx, w, normal, m, reflectance);
+    if tx_leg == 0.0 {
+        return 0.0;
+    }
+    tx_leg * patch_rx_leg(rx, w, normal, optics)
 }
 
 #[cfg(test)]

@@ -1,0 +1,310 @@
+//! TX-side cache for the single-bounce (NLOS) quadratures.
+//!
+//! Ceiling transmitters never move, so the source→patch leg of the
+//! [`crate::nlos`] integrals — `(m+1)/(2π·d1²)·cosᵐ(φ1)·cos(ψ1)·ρ` per
+//! floor/wall patch — is a pure function of the TX pose and the room.
+//! [`NlosTxCache`] precomputes that leg once per (TX, room, patch grid) and
+//! reuses it for every receiver, tick, and experiment, leaving only the
+//! patch→RX leg to evaluate per call. That halves the per-pair quadrature
+//! work and amortizes the TX leg across all followers of a leader.
+//!
+//! **Determinism contract:** the cached entry points keep the direct path's
+//! summation structure exactly — one partial sum per floor row / wall
+//! column, partials added in row/column order — and the split integrand
+//! `tx_leg · rx_leg` is the fused `(first_leg · ρ) · second_leg` product
+//! re-associated nowhere, so [`NlosTxCache::floor_gain`] and
+//! [`NlosTxCache::wall_gain`] are **bitwise identical** to
+//! [`crate::nlos::floor_bounce_gain`] / [`crate::nlos::wall_bounce_gain`]
+//! for any worker count (property-tested in `tests/cache_identity.rs`).
+
+use crate::lambertian::RxOptics;
+use crate::nlos::{
+    floor_grid, floor_patch_center, patch_rx_leg, patch_tx_leg, wall_columns, wall_patch_center,
+    NlosConfig,
+};
+use std::sync::Arc;
+use vlc_geom::{Pose, Room, Vec3};
+use vlc_par::{Jobs, Pool};
+use vlc_trace::Span;
+
+/// Precomputed source→patch irradiance tables for one transmitter.
+///
+/// Build once per deployment (cheap: one tx-leg evaluation per patch),
+/// share behind an [`Arc`] via [`NlosTxCache::shared`], then evaluate
+/// per-receiver gains with [`NlosTxCache::floor_gain`] /
+/// [`NlosTxCache::wall_gain`] at roughly half the direct cost.
+#[derive(Debug, Clone)]
+pub struct NlosTxCache {
+    tx: Pose,
+    room: Room,
+    cfg: NlosConfig,
+    /// Floor grid shape.
+    nx: usize,
+    ny: usize,
+    /// `tx_leg` (including reflectance) per floor patch, `[iy · nx + ix]`.
+    floor_leg: Vec<f64>,
+    /// Wall column list (origin, axis, inward normal, iu) and patch rows.
+    columns: Vec<(Vec3, Vec3, Vec3, usize)>,
+    nz: usize,
+    /// `tx_leg` per wall patch, `[c · nz + iz]`.
+    wall_leg: Vec<f64>,
+}
+
+impl NlosTxCache {
+    /// Builds the tables for one TX, fanning the floor rows / wall columns
+    /// out over `DENSEVLC_JOBS` workers.
+    pub fn new(tx: &Pose, lambertian_m: f64, room: &Room, cfg: &NlosConfig) -> Self {
+        Self::new_pooled(
+            tx,
+            lambertian_m,
+            room,
+            cfg,
+            &Pool::new(Jobs::from_env()),
+            &Span::noop(),
+        )
+    }
+
+    /// [`Self::new`] on a caller-supplied pool, recording a
+    /// `channel.nlos.cache_build` span under `parent` with one
+    /// `channel.nlos.cache_build.row` child per floor row and one
+    /// `channel.nlos.cache_build.col` child per wall column (both indexed,
+    /// so the span tree is worker-count independent).
+    pub fn new_pooled(
+        tx: &Pose,
+        lambertian_m: f64,
+        room: &Room,
+        cfg: &NlosConfig,
+        pool: &Pool,
+        parent: &Span,
+    ) -> Self {
+        assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
+        let build = parent.child("channel.nlos.cache_build");
+        let (nx, ny) = floor_grid(room, cfg);
+        build.attr("rows", &ny.to_string());
+        let floor_leg: Vec<f64> = pool
+            .map_indexed(ny, |iy| {
+                let _row = build.child_indexed("channel.nlos.cache_build.row", iy);
+                (0..nx)
+                    .map(|ix| {
+                        let w = floor_patch_center(cfg, ix, iy);
+                        patch_tx_leg(tx, w, Vec3::UP, lambertian_m, room.floor_reflectance)
+                    })
+                    .collect::<Vec<f64>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let (columns, nz) = wall_columns(room, cfg);
+        build.attr("cols", &columns.len().to_string());
+        let wall_leg: Vec<f64> = pool
+            .map_indexed(columns.len(), |c| {
+                let _col = build.child_indexed("channel.nlos.cache_build.col", c);
+                let (origin, axis, normal, iu) = columns[c];
+                (0..nz)
+                    .map(|iz| {
+                        let w = wall_patch_center(cfg, origin, axis, iu, iz);
+                        patch_tx_leg(tx, w, normal, lambertian_m, room.floor_reflectance)
+                    })
+                    .collect::<Vec<f64>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        NlosTxCache {
+            tx: *tx,
+            room: *room,
+            cfg: *cfg,
+            nx,
+            ny,
+            floor_leg,
+            columns,
+            nz,
+            wall_leg,
+        }
+    }
+
+    /// [`Self::new`] wrapped in an [`Arc`] for sharing across receivers,
+    /// links, and threads.
+    pub fn shared(tx: &Pose, lambertian_m: f64, room: &Room, cfg: &NlosConfig) -> Arc<Self> {
+        Arc::new(Self::new(tx, lambertian_m, room, cfg))
+    }
+
+    /// The cached transmitter pose.
+    pub fn tx(&self) -> &Pose {
+        &self.tx
+    }
+
+    /// The room the tables were built for.
+    pub fn room(&self) -> &Room {
+        &self.room
+    }
+
+    /// The quadrature configuration the tables were built for.
+    pub fn config(&self) -> &NlosConfig {
+        &self.cfg
+    }
+
+    /// Floor-bounce gain toward `rx` — bitwise identical to
+    /// [`crate::nlos::floor_bounce_gain`] for the cached TX.
+    pub fn floor_gain(&self, rx: &Pose, optics: &RxOptics) -> f64 {
+        self.floor_gain_pooled(rx, optics, &Pool::new(Jobs::from_env()), &Span::noop())
+    }
+
+    /// [`Self::floor_gain`] with an explicit worker count.
+    pub fn floor_gain_par(&self, rx: &Pose, optics: &RxOptics, jobs: Jobs) -> f64 {
+        self.floor_gain_pooled(rx, optics, &Pool::new(jobs), &Span::noop())
+    }
+
+    /// [`Self::floor_gain`] on a caller-supplied pool, recording a
+    /// `channel.nlos.floor.cached` span under `parent` with one
+    /// `channel.nlos.floor.cached.row` child per quadrature row.
+    pub fn floor_gain_pooled(
+        &self,
+        rx: &Pose,
+        optics: &RxOptics,
+        pool: &Pool,
+        parent: &Span,
+    ) -> f64 {
+        let da = self.cfg.patch_size_m * self.cfg.patch_size_m;
+        let floor = parent.child("channel.nlos.floor.cached");
+        floor.attr("rows", &self.ny.to_string());
+        let row_sums = pool.map_indexed(self.ny, |iy| {
+            let _row = floor.child_indexed("channel.nlos.floor.cached.row", iy);
+            let mut row = 0.0;
+            for ix in 0..self.nx {
+                let tx_leg = self.floor_leg[iy * self.nx + ix];
+                if tx_leg == 0.0 {
+                    // The fused integrand is exactly +0.0 here and x + 0.0
+                    // never changes a non-negative partial sum, so skipping
+                    // keeps the row bitwise identical to the direct path.
+                    continue;
+                }
+                let w = floor_patch_center(&self.cfg, ix, iy);
+                row += tx_leg * patch_rx_leg(rx, w, Vec3::UP, optics);
+            }
+            row
+        });
+        row_sums.iter().sum::<f64>() * da
+    }
+
+    /// Wall-bounce gain toward `rx` — bitwise identical to
+    /// [`crate::nlos::wall_bounce_gain`] for the cached TX.
+    pub fn wall_gain(&self, rx: &Pose, optics: &RxOptics) -> f64 {
+        self.wall_gain_pooled(rx, optics, &Pool::new(Jobs::from_env()), &Span::noop())
+    }
+
+    /// [`Self::wall_gain`] with an explicit worker count.
+    pub fn wall_gain_par(&self, rx: &Pose, optics: &RxOptics, jobs: Jobs) -> f64 {
+        self.wall_gain_pooled(rx, optics, &Pool::new(jobs), &Span::noop())
+    }
+
+    /// [`Self::wall_gain`] on a caller-supplied pool, recording a
+    /// `channel.nlos.wall.cached` span under `parent` with one
+    /// `channel.nlos.wall.cached.col` child per wall column.
+    pub fn wall_gain_pooled(
+        &self,
+        rx: &Pose,
+        optics: &RxOptics,
+        pool: &Pool,
+        parent: &Span,
+    ) -> f64 {
+        let da = self.cfg.patch_size_m * self.cfg.patch_size_m;
+        let wall = parent.child("channel.nlos.wall.cached");
+        wall.attr("cols", &self.columns.len().to_string());
+        let column_sums = pool.map_indexed(self.columns.len(), |c| {
+            let _col = wall.child_indexed("channel.nlos.wall.cached.col", c);
+            let (origin, axis, normal, iu) = self.columns[c];
+            let mut col = 0.0;
+            for iz in 0..self.nz {
+                let tx_leg = self.wall_leg[c * self.nz + iz];
+                if tx_leg == 0.0 {
+                    continue;
+                }
+                let w = wall_patch_center(&self.cfg, origin, axis, iu, iz);
+                col += tx_leg * patch_rx_leg(rx, w, normal, optics);
+            }
+            col
+        });
+        column_sums.iter().sum::<f64>() * da
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lambertian::lambertian_order;
+    use crate::nlos::{floor_bounce_gain, wall_bounce_gain};
+    use vlc_geom::TxGrid;
+
+    fn setup() -> (Room, f64, RxOptics) {
+        (
+            Room::paper_testbed(),
+            lambertian_order(15f64.to_radians()),
+            RxOptics::paper(),
+        )
+    }
+
+    #[test]
+    fn cached_floor_gain_is_bitwise_identical_to_direct() {
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let cfg = NlosConfig::default();
+        let cache = NlosTxCache::new(&grid.pose(1), m, &room, &cfg);
+        for follower in [0usize, 2, 7, 35] {
+            let rx = grid.pose(follower);
+            let direct = floor_bounce_gain(&grid.pose(1), &rx, m, &optics, &room, &cfg);
+            let cached = cache.floor_gain(&rx, &optics);
+            assert_eq!(
+                cached.to_bits(),
+                direct.to_bits(),
+                "follower {follower}: cached {cached:e} direct {direct:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_wall_gain_is_bitwise_identical_to_direct() {
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let cfg = NlosConfig { patch_size_m: 0.1 };
+        let cache = NlosTxCache::new(&grid.pose(7), m, &room, &cfg);
+        let rx = Pose::face_up(0.92, 0.92, 0.0);
+        let direct = wall_bounce_gain(&grid.pose(7), &rx, m, &optics, &room, &cfg);
+        let cached = cache.wall_gain(&rx, &optics);
+        assert_eq!(cached.to_bits(), direct.to_bits());
+        assert!(cached > 0.0);
+    }
+
+    #[test]
+    fn cached_gains_are_bitwise_identical_for_any_worker_count() {
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let cfg = NlosConfig::default();
+        let cache = NlosTxCache::new(&grid.pose(1), m, &room, &cfg);
+        let rx = grid.pose(2);
+        let reference = cache.floor_gain_par(&rx, &optics, Jobs::serial());
+        for jobs in [Jobs::of(2), Jobs::of(7), Jobs::max()] {
+            let got = cache.floor_gain_par(&rx, &optics, jobs);
+            assert_eq!(got.to_bits(), reference.to_bits(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_serves_multiple_followers() {
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let cfg = NlosConfig::default();
+        let cache = NlosTxCache::shared(&grid.pose(1), m, &room, &cfg);
+        let near = cache.floor_gain(&grid.pose(2), &optics);
+        let far = cache.floor_gain(&grid.pose(35), &optics);
+        assert!(near > far, "near {near:e} !> far {far:e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_patch_size_panics() {
+        let (room, m, _) = setup();
+        let grid = TxGrid::paper(&room);
+        NlosTxCache::new(&grid.pose(0), m, &room, &NlosConfig { patch_size_m: 0.0 });
+    }
+}

@@ -10,9 +10,10 @@
 
 use serde::{Deserialize, Serialize};
 use vlc_alloc::model::SystemModel;
-use vlc_channel::{ChannelMatrix, CylinderBlocker};
+use vlc_channel::{ChannelMatrix, ChannelUpdater, CylinderBlocker};
 use vlc_geom::Pose;
-use vlc_mac::{BeamspotPlan, Controller, ControllerConfig};
+use vlc_mac::{BeamspotPlan, Controller, ControllerConfig, PlanCache};
+use vlc_par::{Jobs, Pool};
 use vlc_telemetry::{MetricsSnapshot, Registry};
 use vlc_testbed::{AcroPositioner, Deployment};
 use vlc_trace::Span;
@@ -158,23 +159,25 @@ impl Simulation {
         self.rx_movers[rx].queue(vlc_geom::Vec3::new(x, y, 0.0));
     }
 
-    /// Rebuilds the channel with the current occluders.
-    fn current_channel(&self) -> (ChannelMatrix, usize) {
-        let blockers: Vec<CylinderBlocker> =
-            self.people.iter().map(WalkingPerson::blocker).collect();
+    /// Applies the occluders to a *same-tick* clear channel: returns the
+    /// masked matrix plus the number of links the occluders removed (gain
+    /// positive in `clear`, zero after masking). Taking the clear channel
+    /// as an argument makes the same-tick contract explicit — diffing
+    /// against a stale stored channel would double-count a receiver that
+    /// moved under a blocker between replans.
+    fn masked_channel(
+        &self,
+        clear: &ChannelMatrix,
+        blockers: &[CylinderBlocker],
+    ) -> (ChannelMatrix, usize) {
         let channel = ChannelMatrix::compute_with_blockage(
             &self.deployment.grid,
             &self.deployment.receivers,
             self.deployment.half_power_semi_angle,
             &self.deployment.optics,
-            &blockers,
+            blockers,
         );
-        // Count links the occluders removed relative to the stored clear
-        // channel (gain positive there, zero here).
-        let blocked = self
-            .deployment
-            .model
-            .channel
+        let blocked = clear
             .iter()
             .filter(|&(t, r, g)| g > 0.0 && channel.gain(t, r) == 0.0)
             .count();
@@ -182,6 +185,13 @@ impl Simulation {
     }
 
     /// Runs for `duration_s`, returning the recorded timeline.
+    ///
+    /// This is the **incremental engine**: channel columns are recomputed
+    /// only for receivers that moved (or when blockage geometry changed)
+    /// and the controller re-plans only when the channel actually changed
+    /// since its last plan. The output is bitwise identical to
+    /// [`Self::run_cold`] — the incremental layers reproduce the cold
+    /// values exactly (see `tests/sim_incremental.rs`) — just faster.
     pub fn run(&mut self, duration_s: f64) -> Timeline {
         self.run_instrumented(duration_s, &Registry::noop())
     }
@@ -190,24 +200,78 @@ impl Simulation {
     /// and counted into `sim.ticks`; re-plans (forwarded through the
     /// controller's instrumented phases) count into `mac.replans` and the
     /// ticks spent serving traffic on a stale plan into
-    /// `mac.stale_plan_ticks`; `sim.blocked_links` and the per-receiver
-    /// `sim.rx{i}.bps` gauges track the latest tick. With a live registry
-    /// the returned [`Timeline`] embeds the end-of-run snapshot.
+    /// `mac.stale_plan_ticks`; the incremental engine adds
+    /// `channel.cache.hit/partial/miss` and `mac.plan.cache_hits/misses`;
+    /// `sim.blocked_links` and the per-receiver `sim.rx{i}.bps` gauges
+    /// track the latest tick. With a live registry the returned
+    /// [`Timeline`] embeds the end-of-run snapshot.
     pub fn run_instrumented(&mut self, duration_s: f64, telemetry: &Registry) -> Timeline {
         self.run_traced(duration_s, telemetry, &Span::noop())
     }
 
     /// [`Self::run_instrumented`] recording a `sim.run` span under
-    /// `parent`, with one `sim.tick` child per tick (indexed by step) and
-    /// the controller's `mac.plan` tree nested inside re-planning ticks.
-    /// With a noop parent this is the instrumented path plus one branch
-    /// per span site.
+    /// `parent`, with one `sim.tick` child per tick (indexed by step), the
+    /// incremental engine's `channel.update` tree inside each tick, and
+    /// the controller's `mac.plan` (or `mac.plan.cached`) tree nested
+    /// inside re-planning ticks. With a noop parent this is the
+    /// instrumented path plus one branch per span site.
     pub fn run_traced(&mut self, duration_s: f64, telemetry: &Registry, parent: &Span) -> Timeline {
+        self.run_engine(duration_s, telemetry, parent, true)
+    }
+
+    /// [`Self::run`] on the cold engine: rebuild the full channel matrix
+    /// and re-plan from scratch every tick, like the pre-incremental code.
+    /// Kept as the reference the incremental engine is verified against.
+    pub fn run_cold(&mut self, duration_s: f64) -> Timeline {
+        self.run_cold_instrumented(duration_s, &Registry::noop())
+    }
+
+    /// [`Self::run_cold`] with telemetry (see [`Self::run_instrumented`]).
+    pub fn run_cold_instrumented(&mut self, duration_s: f64, telemetry: &Registry) -> Timeline {
+        self.run_cold_traced(duration_s, telemetry, &Span::noop())
+    }
+
+    /// [`Self::run_cold_instrumented`] with tracing (see
+    /// [`Self::run_traced`]).
+    pub fn run_cold_traced(
+        &mut self,
+        duration_s: f64,
+        telemetry: &Registry,
+        parent: &Span,
+    ) -> Timeline {
+        self.run_engine(duration_s, telemetry, parent, false)
+    }
+
+    /// The tick loop behind both engines. `incremental` selects the warm
+    /// path (dirty-column channel updates + plan cache); the recorded
+    /// [`Timeline`] and the end-of-run deployment state are identical
+    /// either way.
+    fn run_engine(
+        &mut self,
+        duration_s: f64,
+        telemetry: &Registry,
+        parent: &Span,
+        incremental: bool,
+    ) -> Timeline {
         assert!(duration_s > 0.0, "duration must be positive");
         let run = parent.child("sim.run");
         run.attr("duration_s", &format!("{duration_s}"));
+        run.attr("engine", if incremental { "incremental" } else { "cold" });
         let steps = (duration_s / self.tick_s).ceil() as usize;
         let mut ticks = Vec::with_capacity(steps);
+        // Run-local engine state: one worker pool for the whole run
+        // (hoisted out of the per-matrix calls), one channel updater with
+        // ε = 0 (exact: any movement recomputes), one plan cache. Kept off
+        // the struct so serialized simulations and replays stay unaffected.
+        let pool = Pool::new(Jobs::from_env()).with_telemetry(telemetry);
+        let mut updater = ChannelUpdater::new(
+            &self.deployment.grid,
+            self.deployment.half_power_semi_angle,
+            &self.deployment.optics,
+            0.0,
+        );
+        let mut plan_cache = PlanCache::new();
+        let mut world: SystemModel = self.deployment.model.clone();
         for step in 0..steps {
             let tick_trace = run.child_indexed("sim.tick", step);
             let _tick_span = telemetry.span("sim.tick_s");
@@ -223,25 +287,42 @@ impl Simulation {
                     Pose::face_up(p.x, p.y, height)
                 })
                 .collect();
-            self.deployment.update_receivers(positions);
             for person in &mut self.people {
                 person.mover.advance(self.tick_s);
             }
+            let blockers: Vec<CylinderBlocker> =
+                self.people.iter().map(WalkingPerson::blocker).collect();
 
             // The channel the world currently presents (with occluders).
-            let (channel, blocked_links) = self.current_channel();
-            let mut world: SystemModel = self.deployment.model.clone();
+            let (channel, blocked_links) = if incremental {
+                let update =
+                    updater.update_pooled(&positions, &blockers, &pool, telemetry, &tick_trace);
+                self.deployment.receivers = positions;
+                self.deployment.model.channel = update.clear;
+                (update.matrix, update.blocked_links)
+            } else {
+                self.deployment.update_receivers(positions);
+                // `update_receivers` just recomputed the clear channel, so
+                // the stored one is same-tick by construction here.
+                self.masked_channel(&self.deployment.model.channel, &blockers)
+            };
             world.channel = channel;
 
             // Re-plan when the adaptation round allows.
             self.time_since_replan_s += self.tick_s;
             let mut replanned = false;
             if self.time_since_replan_s >= self.adaptation_period_s || self.plan.is_none() {
-                self.plan = Some(self.controller.plan_traced(
-                    &world.channel,
-                    telemetry,
-                    &tick_trace,
-                ));
+                self.plan = Some(if incremental {
+                    self.controller.plan_cached_traced(
+                        &world.channel,
+                        &mut plan_cache,
+                        telemetry,
+                        &tick_trace,
+                    )
+                } else {
+                    self.controller
+                        .plan_traced(&world.channel, telemetry, &tick_trace)
+                });
                 self.time_since_replan_s = 0.0;
                 replanned = true;
                 telemetry.counter("mac.replans").inc();

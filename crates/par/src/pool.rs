@@ -52,8 +52,11 @@ impl Pool {
     }
 
     /// Attaches a telemetry registry recording the per-worker spans and
-    /// counters listed in the type docs.
+    /// counters listed in the type docs, and bumps `par.pool.created` —
+    /// watching that counter shows how much pool reuse (one pool per
+    /// matrix/solve instead of one per gain call) saves.
     pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        registry.counter("par.pool.created").inc();
         self.telemetry = registry.clone();
         self
     }
@@ -351,6 +354,15 @@ mod tests {
         assert!(snap
             .histogram("par.worker.busy_s")
             .is_some_and(|h| h.count == 3));
+    }
+
+    #[test]
+    fn pool_creation_is_counted() {
+        let registry = Registry::new();
+        let _a = Pool::new(Jobs::of(2)).with_telemetry(&registry);
+        let _b = Pool::sequential().with_telemetry(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("par.pool.created"), Some(2));
     }
 
     #[test]
