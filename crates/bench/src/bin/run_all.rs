@@ -17,6 +17,7 @@
 use densevlc::experiments::*;
 use densevlc::{Simulation, System};
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use vlc_alloc::heuristic::heuristic_allocation_traced;
 use vlc_alloc::{HeuristicConfig, OptimalSolver, WarmOptimal};
@@ -25,6 +26,13 @@ use vlc_channel::nlos::NlosConfig;
 use vlc_channel::{lambertian_order, ChannelMatrix, NlosTxCache};
 use vlc_led::LedParams;
 use vlc_par::{Jobs, Pool, JOBS_ENV};
+use vlc_phy::manchester::{manchester_decode, manchester_encode};
+use vlc_phy::packed::PackedChips;
+use vlc_phy::rs::RsCodec;
+use vlc_phy::waveform::{
+    render, render_packed_into, slice_chips, slice_chips_packed_into, WaveformConfig,
+};
+use vlc_phy::{Frame, FrameHeader, ReedSolomon};
 use vlc_sync::NlosSyncLink;
 use vlc_telemetry::Registry;
 use vlc_testbed::{Deployment, Scenario};
@@ -299,6 +307,126 @@ fn phase_probe(tracer: &Tracer, jobs: Jobs) {
     warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
 }
 
+/// Times the PHY fast path against its scalar reference under a
+/// `bench.phy_probe` root. `phy.roundtrip.scalar` and
+/// `phy.roundtrip.packed` each run the same per-frame cycle — frame encode
+/// → Manchester chips → waveform render → mid-chip slice → Manchester
+/// decode → Reed–Solomon frame decode, no channel noise so the workload is
+/// deterministic — through the `Vec<Chip>` reference path and the
+/// bit-packed zero-alloc path respectively. `phy.packed.encode`,
+/// `phy.packed.decode`, and `phy.rs.block` isolate the packed Manchester
+/// LUT encode, the word-wise decode, and a full t = 8 RS correction.
+fn phy_probe(tracer: &Tracer) {
+    const REPS: usize = 5;
+    const FRAMES: usize = 16;
+    let cfg = WaveformConfig::paper();
+    let rs = ReedSolomon::paper();
+    let header = FrameHeader {
+        dst: 1,
+        src: 0,
+        protocol: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(0x9A7);
+    let payloads: Vec<Vec<u8>> = (0..FRAMES)
+        .map(|_| (0..200).map(|_| rng.gen()).collect())
+        .collect();
+    let probe = tracer.root("bench.phy_probe");
+
+    // Scalar reference: fresh Vec<Chip> streams and per-call RS buffers.
+    for _ in 0..REPS {
+        let span = probe.child("phy.roundtrip.scalar");
+        let mut sink = 0usize;
+        for payload in &payloads {
+            let frame = Frame::new(u64::MAX, header, payload.clone());
+            let bytes = frame.to_bytes(&rs);
+            let chips = manchester_encode(&bytes);
+            let n_samples = (chips.len() as f64 * cfg.samples_per_chip()).ceil() as usize;
+            let wave = render(&chips, &cfg, 1.0, 0.0, n_samples);
+            let sliced = slice_chips(&wave, &cfg, 0, chips.len()).expect("clean waveform");
+            let decoded = manchester_decode(&sliced).expect("valid stream");
+            let (out, _) = Frame::from_bytes(&decoded, &rs).expect("clean frame");
+            sink += out.payload.len();
+        }
+        assert_eq!(sink, FRAMES * 200);
+        drop(span);
+    }
+
+    // Packed fast path: reusable buffers, warmed before the timed reps so
+    // the rows reflect the steady state the e2e pipeline runs in.
+    let mut codec = RsCodec::paper();
+    let mut wire = Vec::new();
+    let mut chips = PackedChips::new();
+    let mut wave = Vec::new();
+    let mut sliced = PackedChips::new();
+    let mut rx_bytes = Vec::new();
+    let mut coded = Vec::new();
+    let mut payload_rx = Vec::new();
+    let mut packed_cycle = |payload: &[u8]| -> usize {
+        wire.clear();
+        Frame::encode_parts_into(u64::MAX, &header, payload, &mut codec, &mut wire);
+        chips.clear();
+        chips.encode_bytes(&wire);
+        let n_samples = (chips.len() as f64 * cfg.samples_per_chip()).ceil() as usize;
+        render_packed_into(&chips, &cfg, 1.0, 0.0, n_samples, &mut wave);
+        assert!(slice_chips_packed_into(
+            &wave,
+            &cfg,
+            0,
+            chips.len(),
+            &mut sliced
+        ));
+        assert!(sliced.decode_bytes_into(&mut rx_bytes));
+        Frame::decode_parts_into(&rx_bytes, &mut codec, &mut coded, &mut payload_rx)
+            .expect("clean frame");
+        payload_rx.len()
+    };
+    packed_cycle(&payloads[0]);
+    for _ in 0..REPS {
+        let span = probe.child("phy.roundtrip.packed");
+        let mut sink = 0usize;
+        for payload in &payloads {
+            sink += packed_cycle(payload);
+        }
+        assert_eq!(sink, FRAMES * 200);
+        drop(span);
+    }
+
+    // Isolated packed Manchester encode and decode.
+    for _ in 0..REPS {
+        let span = probe.child("phy.packed.encode");
+        for payload in &payloads {
+            chips.clear();
+            chips.encode_bytes(payload);
+        }
+        drop(span);
+    }
+    chips.clear();
+    chips.encode_bytes(&payloads[0]);
+    for _ in 0..REPS {
+        let span = probe.child("phy.packed.decode");
+        for _ in 0..FRAMES {
+            assert!(chips.decode_bytes_into(&mut rx_bytes));
+        }
+        drop(span);
+    }
+
+    // A full Reed–Solomon block correction at capacity (t = 8 errors).
+    let block_payload = &payloads[0];
+    for _ in 0..REPS {
+        let span = probe.child("phy.rs.block");
+        for f in 0..FRAMES {
+            coded.clear();
+            codec.encode_into(block_payload, &mut coded);
+            for e in 0..codec.correction_capacity() {
+                let pos = (f * 31 + e * 17) % coded.len();
+                coded[pos] ^= 0x5a;
+            }
+            codec.decode_in_place(&mut coded).expect("correctable");
+        }
+        drop(span);
+    }
+}
+
 fn write_file(path: &str, contents: &str, what: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => eprintln!("wrote {what} to {path}"),
@@ -354,6 +482,7 @@ fn main() {
         drop(root);
         if timing {
             phase_probe(&tracer, opts.jobs);
+            phy_probe(&tracer);
         }
         first_reports.get_or_insert(reports);
     }

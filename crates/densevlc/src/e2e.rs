@@ -15,22 +15,43 @@
 //! Manchester stream, while the NLOS-VLC residual (0.575 µs) is absorbed by
 //! mid-chip slicing.
 
+use std::sync::OnceLock;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vlc_channel::{AwgnChannel, NoiseParams};
 use vlc_led::power::optical_swing_amplitude;
 use vlc_led::LedParams;
-use vlc_phy::frame::{protocol, Frame, FrameHeader};
+use vlc_phy::frame::{protocol, Frame, FrameError, FrameHeader};
 use vlc_phy::manchester::{manchester_decode, manchester_encode, Chip};
-use vlc_phy::rs::ReedSolomon;
-use vlc_phy::waveform::{correlate_pattern, mix_into, render, slice_chips, WaveformConfig};
+use vlc_phy::packed::{packed_encode, PackedChips};
+use vlc_phy::rs::{ReedSolomon, RsCodec};
+use vlc_phy::waveform::{
+    correlate_pattern, correlate_template, mix_into, render, render_packed_into, slice_chips,
+    slice_chips_packed_into, template_energy, WaveformConfig,
+};
 use vlc_sync::SyncScheme;
 use vlc_telemetry::Registry;
 
 /// The preamble byte pattern (chips alternate at the chip rate, ideal for
 /// correlation locking).
 const PREAMBLE_BYTES: [u8; 4] = [0xAA, 0xAA, 0xAA, 0x55];
+
+/// The preamble's chip encodings — scalar for the reference path, packed for
+/// the fast path — computed once per process. Every `run*` entry point
+/// shares this hoist (the encoding used to be recomputed per run and per
+/// ARQ retry); the `preamble_hoist_matches_fresh_encoding` test pins both
+/// call-site families to a fresh `manchester_encode`.
+fn preamble() -> &'static (Vec<Chip>, PackedChips) {
+    static PREAMBLE: OnceLock<(Vec<Chip>, PackedChips)> = OnceLock::new();
+    PREAMBLE.get_or_init(|| {
+        let scalar = manchester_encode(&PREAMBLE_BYTES);
+        let packed = packed_encode(&PREAMBLE_BYTES);
+        assert_eq!(packed.to_chips(), scalar, "preamble encodings diverge");
+        (scalar, packed)
+    })
+}
 
 /// One transmitter participating in the joint transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -119,6 +140,33 @@ pub fn run_instrumented(
     seed: u64,
     telemetry: &Registry,
 ) -> E2eResult {
+    FramePipeline::new(cfg).run(txs, scheme, cfg, frames, seed, telemetry)
+}
+
+/// The scalar reference implementation of [`run`]: `Vec<Chip>` streams,
+/// per-call Reed–Solomon buffers, and fresh waveform allocations per frame.
+/// The packed pipeline ([`FramePipeline`]) is pinned bit-identical to this
+/// path by the `packed_run_matches_scalar_reference` tests; keep the two in
+/// lockstep when changing either.
+pub fn run_scalar(
+    txs: &[E2eTx],
+    scheme: &SyncScheme,
+    cfg: &E2eConfig,
+    frames: usize,
+    seed: u64,
+) -> E2eResult {
+    run_scalar_instrumented(txs, scheme, cfg, frames, seed, &Registry::noop())
+}
+
+/// [`run_scalar`] with telemetry — the instrumented scalar reference.
+pub fn run_scalar_instrumented(
+    txs: &[E2eTx],
+    scheme: &SyncScheme,
+    cfg: &E2eConfig,
+    frames: usize,
+    seed: u64,
+    telemetry: &Registry,
+) -> E2eResult {
     assert!(!txs.is_empty(), "need at least one transmitter");
     assert!(frames > 0, "need at least one frame");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -127,7 +175,7 @@ pub fn run_instrumented(
         symbol_rate_hz: cfg.symbol_rate_hz,
         sample_rate_hz: cfg.sample_rate_hz,
     };
-    let preamble_chips = manchester_encode(&PREAMBLE_BYTES);
+    let preamble_chips = &preamble().0;
     let a_opt = optical_swing_amplitude(&cfg.led, cfg.led.max_swing);
     let mut awgn = AwgnChannel::new(cfg.noise);
 
@@ -223,7 +271,7 @@ pub fn run_instrumented(
 
         // Preamble lock: search around the nominal start.
         let Some((start, score)) =
-            correlate_pattern(&photocurrent, &wave_cfg, &preamble_chips, 0, 3 * guard)
+            correlate_pattern(&photocurrent, &wave_cfg, preamble_chips, 0, 3 * guard)
         else {
             telemetry.counter("phy.preamble_misses").inc();
             continue;
@@ -274,6 +322,482 @@ pub fn run_instrumented(
         per: 1.0 - frames_ok as f64 / frames as f64,
         goodput_bps: payload_bits / total_time_s,
         rs_corrections,
+    }
+}
+
+/// The packed-chip fast path through the end-to-end simulation.
+///
+/// Owns every buffer the per-frame PHY cycle needs — the hoisted preamble
+/// template, a reusable [`RsCodec`] workspace, packed chip streams, and the
+/// waveform/photocurrent/decode scratch — so that a warmed pipeline runs
+/// frames (and ARQ retries) with **zero heap allocations** in steady state
+/// (`crates/densevlc/tests/e2e_identity.rs` pins this with a counting
+/// allocator). Its output is bit-identical to the scalar reference
+/// ([`run_scalar_instrumented`], [`run_concurrent_scalar`]): identical RNG
+/// draw order, identical float summation order, identical slicing
+/// predicates — so [`E2eResult`] matches exactly, not just statistically.
+#[derive(Debug)]
+pub struct FramePipeline {
+    wave_cfg: WaveformConfig,
+    codec: RsCodec,
+    /// The preamble rendered at unit amplitude, zero delay — exactly the
+    /// template `correlate_pattern` re-renders per call on the scalar path.
+    preamble_template: Vec<f64>,
+    preamble_energy: f64,
+    // Per-frame scratch (capacities persist across frames and runs).
+    payload: Vec<u8>,
+    wire: Vec<u8>,
+    mac_tx: PackedChips,
+    tx_chips: PackedChips,
+    photocurrent: Vec<f64>,
+    wave: Vec<f64>,
+    sliced: PackedChips,
+    rx_bytes: Vec<u8>,
+    coded: Vec<u8>,
+    payload_rx: Vec<u8>,
+    // Per-run scratch.
+    hosts: Vec<usize>,
+    loop_phase: Vec<(usize, f64)>,
+    offsets: Vec<(usize, f64)>,
+    // Concurrent-mode scratch (one slot per beamspot).
+    spot_payloads: Vec<Vec<u8>>,
+    spot_mac: Vec<PackedChips>,
+    spot_chips: Vec<PackedChips>,
+    spot_wire_lens: Vec<usize>,
+    spot_offsets: Vec<f64>,
+    spot_frames_ok: Vec<usize>,
+    spot_rs_corrections: Vec<usize>,
+}
+
+impl FramePipeline {
+    /// Builds a pipeline for runs at `cfg`'s symbol and sample rates (the
+    /// hoisted preamble template is rate-specific; [`Self::run`] asserts
+    /// the rates match).
+    pub fn new(cfg: &E2eConfig) -> Self {
+        let wave_cfg = WaveformConfig {
+            symbol_rate_hz: cfg.symbol_rate_hz,
+            sample_rate_hz: cfg.sample_rate_hz,
+        };
+        let (_, pre) = preamble();
+        let mut preamble_template = Vec::new();
+        render_packed_into(
+            pre,
+            &wave_cfg,
+            1.0,
+            0.0,
+            (pre.len() as f64 * wave_cfg.samples_per_chip()).round() as usize,
+            &mut preamble_template,
+        );
+        let preamble_energy = template_energy(&preamble_template);
+        FramePipeline {
+            wave_cfg,
+            codec: RsCodec::paper(),
+            preamble_template,
+            preamble_energy,
+            payload: Vec::new(),
+            wire: Vec::new(),
+            mac_tx: PackedChips::new(),
+            tx_chips: PackedChips::new(),
+            photocurrent: Vec::new(),
+            wave: Vec::new(),
+            sliced: PackedChips::new(),
+            rx_bytes: Vec::new(),
+            coded: Vec::new(),
+            payload_rx: Vec::new(),
+            hosts: Vec::new(),
+            loop_phase: Vec::new(),
+            offsets: Vec::new(),
+            spot_payloads: Vec::new(),
+            spot_mac: Vec::new(),
+            spot_chips: Vec::new(),
+            spot_wire_lens: Vec::new(),
+            spot_offsets: Vec::new(),
+            spot_frames_ok: Vec::new(),
+            spot_rs_corrections: Vec::new(),
+        }
+    }
+
+    fn assert_rates(&self, cfg: &E2eConfig) {
+        assert!(
+            cfg.symbol_rate_hz == self.wave_cfg.symbol_rate_hz
+                && cfg.sample_rate_hz == self.wave_cfg.sample_rate_hz,
+            "pipeline was built for different rates"
+        );
+    }
+
+    /// The packed twin of [`run_scalar_instrumented`]: same RNG stream,
+    /// same physics, same telemetry counters, bit-identical [`E2eResult`] —
+    /// but through reusable packed buffers. Packed encode work runs under
+    /// the `phy.packed.encode_s` span, slice + Manchester decode under
+    /// `phy.packed.decode_s`, and the Reed–Solomon block decode under
+    /// `phy.rs.block_s`.
+    pub fn run(
+        &mut self,
+        txs: &[E2eTx],
+        scheme: &SyncScheme,
+        cfg: &E2eConfig,
+        frames: usize,
+        seed: u64,
+        telemetry: &Registry,
+    ) -> E2eResult {
+        assert!(!txs.is_empty(), "need at least one transmitter");
+        assert!(frames > 0, "need at least one frame");
+        self.assert_rates(cfg);
+        let (_, pre) = preamble();
+        let Self {
+            wave_cfg,
+            codec,
+            preamble_template,
+            preamble_energy,
+            payload,
+            wire,
+            mac_tx,
+            tx_chips,
+            photocurrent,
+            wave,
+            sliced,
+            rx_bytes,
+            coded,
+            payload_rx,
+            hosts,
+            loop_phase,
+            offsets,
+            ..
+        } = self;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a_opt = optical_swing_amplitude(&cfg.led, cfg.led.max_swing);
+        let mut awgn = AwgnChannel::new(cfg.noise);
+
+        hosts.clear();
+        hosts.extend(txs.iter().map(|t| t.host));
+        hosts.sort_unstable();
+        hosts.dedup();
+
+        // Same persistent loop-phase model (and RNG draws) as the scalar
+        // reference: one uniform phase per host, relative to the earliest.
+        let chips_per_frame = (Frame::wire_len(cfg.payload_len, codec.reference())
+            + PREAMBLE_BYTES.len()) as f64
+            * 16.0;
+        let frame_duration_s = chips_per_frame / cfg.symbol_rate_hz;
+        loop_phase.clear();
+        if matches!(scheme, SyncScheme::SyncOff) && hosts.len() > 1 {
+            for &h in hosts.iter() {
+                loop_phase.push((h, rng.gen_range(0.0..frame_duration_s)));
+            }
+            let min = loop_phase
+                .iter()
+                .map(|&(_, p)| p)
+                .fold(f64::INFINITY, f64::min);
+            for (_, p) in loop_phase.iter_mut() {
+                *p -= min;
+            }
+        } else {
+            loop_phase.extend(hosts.iter().map(|&h| (h, 0.0)));
+        }
+
+        let header = FrameHeader {
+            dst: 1,
+            src: 0,
+            protocol: protocol::DATA,
+        };
+        let mut frames_ok = 0;
+        let mut rs_corrections = 0;
+        let mut air_time_s = 0.0;
+        for _ in 0..frames {
+            {
+                let _encode = telemetry.span("phy.packed.encode_s");
+                payload.clear();
+                for _ in 0..cfg.payload_len {
+                    payload.push(rng.gen());
+                }
+                telemetry.counter("phy.frames_encoded").inc();
+                wire.clear();
+                Frame::encode_parts_into(u64::MAX, &header, payload, codec, wire);
+                mac_tx.clear();
+                mac_tx.encode_bytes(wire);
+                tx_chips.clear();
+                tx_chips.extend_from(pre);
+                tx_chips.extend_from(mac_tx);
+            }
+            let spc = wave_cfg.samples_per_chip();
+            let guard = (8.0 * spc) as usize;
+            let n_samples = guard + (tx_chips.len() as f64 * spc).ceil() as usize + guard;
+            air_time_s += n_samples as f64 / cfg.sample_rate_hz;
+
+            offsets.clear();
+            for &h in hosts.iter() {
+                let phase = loop_phase
+                    .iter()
+                    .find(|(host, _)| *host == h)
+                    .expect("host has a phase")
+                    .1;
+                offsets.push((
+                    h,
+                    phase + scheme.sample_start_offset(cfg.symbol_rate_hz, &mut rng),
+                ));
+            }
+
+            photocurrent.clear();
+            photocurrent.resize(n_samples, 0.0);
+            for tx in txs {
+                let offset = offsets
+                    .iter()
+                    .find(|(h, _)| *h == tx.host)
+                    .expect("host offset exists")
+                    .1;
+                let amp = cfg.responsivity * tx.gain * a_opt;
+                let delay = guard as f64 / cfg.sample_rate_hz + offset;
+                render_packed_into(tx_chips, wave_cfg, amp, delay, n_samples, wave);
+                mix_into(photocurrent, wave);
+            }
+            for s in photocurrent.iter_mut() {
+                *s += awgn.sample(&mut rng);
+            }
+
+            let Some((start, score)) = correlate_template(
+                photocurrent,
+                preamble_template,
+                *preamble_energy,
+                0,
+                3 * guard,
+            ) else {
+                telemetry.counter("phy.preamble_misses").inc();
+                continue;
+            };
+            if score < 0.5 {
+                telemetry.counter("phy.preamble_misses").inc();
+                continue;
+            }
+            let mac_start = start + (pre.len() as f64 * spc).round() as usize;
+            let n_mac_chips = wire.len() * 16;
+            {
+                let _decode = telemetry.span("phy.packed.decode_s");
+                if !slice_chips_packed_into(photocurrent, wave_cfg, mac_start, n_mac_chips, sliced)
+                {
+                    telemetry.counter("phy.frame_sync_errors").inc();
+                    continue;
+                }
+                let chip_errors = sliced.diff_count(mac_tx);
+                telemetry
+                    .histogram("phy.ber")
+                    .record(chip_errors as f64 / mac_tx.len().max(1) as f64);
+                if !sliced.decode_bytes_into(rx_bytes) {
+                    telemetry.counter("phy.frame_sync_errors").inc();
+                    continue;
+                }
+            }
+            let parsed = {
+                let _rs_block = telemetry.span("phy.rs.block_s");
+                Frame::decode_parts_into(rx_bytes, codec, coded, payload_rx)
+            };
+            match parsed {
+                Ok((_, _, fixed)) => {
+                    telemetry.counter("phy.frames_decoded").inc();
+                    telemetry
+                        .counter("phy.rs_symbols_corrected")
+                        .add(fixed as u64);
+                    if payload_rx == payload {
+                        frames_ok += 1;
+                        rs_corrections += fixed;
+                    } else {
+                        telemetry.counter("phy.frames_bad_payload").inc();
+                    }
+                }
+                Err(FrameError::Uncorrectable) => {
+                    telemetry.counter("phy.rs_uncorrectable").inc();
+                    telemetry.event("phy.frame", "rs_uncorrectable", &[]);
+                }
+                Err(_) => {
+                    telemetry.counter("phy.frame_sync_errors").inc();
+                }
+            }
+        }
+
+        let total_time_s = air_time_s + frames as f64 * cfg.turnaround_s;
+        let payload_bits = (cfg.payload_len * 8 * frames_ok) as f64;
+        E2eResult {
+            frames_total: frames,
+            frames_ok,
+            per: 1.0 - frames_ok as f64 / frames as f64,
+            goodput_bps: payload_bits / total_time_s,
+            rs_corrections,
+        }
+    }
+
+    /// The packed twin of [`run_concurrent_scalar`] — bit-identical
+    /// per-beamspot results through the reusable buffers.
+    pub fn run_concurrent(
+        &mut self,
+        channel: &vlc_channel::ChannelMatrix,
+        beamspots: &[E2eBeamspot],
+        cfg: &E2eConfig,
+        frames: usize,
+        seed: u64,
+    ) -> Vec<E2eResult> {
+        assert!(!beamspots.is_empty(), "need at least one beamspot");
+        assert!(frames > 0, "need at least one frame");
+        for spot in beamspots {
+            assert!(
+                !spot.txs.is_empty(),
+                "beamspot for RX{} has no TXs",
+                spot.rx
+            );
+            assert!(
+                spot.rx < channel.n_rx(),
+                "RX {} outside the channel",
+                spot.rx
+            );
+            for &t in &spot.txs {
+                assert!(t < channel.n_tx(), "TX {t} outside the channel");
+            }
+        }
+        self.assert_rates(cfg);
+        let (_, pre) = preamble();
+        let Self {
+            wave_cfg,
+            codec,
+            preamble_template,
+            preamble_energy,
+            wire,
+            photocurrent,
+            wave,
+            sliced,
+            rx_bytes,
+            coded,
+            payload_rx,
+            spot_payloads,
+            spot_mac,
+            spot_chips,
+            spot_wire_lens,
+            spot_offsets,
+            spot_frames_ok,
+            spot_rs_corrections,
+            ..
+        } = self;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a_opt = optical_swing_amplitude(&cfg.led, cfg.led.max_swing);
+        let mut awgn = AwgnChannel::new(cfg.noise);
+        let scheme = SyncScheme::nlos_paper();
+        let header = FrameHeader {
+            dst: 1,
+            src: 0,
+            protocol: protocol::DATA,
+        };
+
+        let n = beamspots.len();
+        if spot_payloads.len() < n {
+            spot_payloads.resize_with(n, Vec::new);
+            spot_mac.resize_with(n, PackedChips::new);
+            spot_chips.resize_with(n, PackedChips::new);
+        }
+        spot_wire_lens.clear();
+        spot_wire_lens.resize(n, 0);
+        spot_frames_ok.clear();
+        spot_frames_ok.resize(n, 0);
+        spot_rs_corrections.clear();
+        spot_rs_corrections.resize(n, 0);
+
+        let spc = wave_cfg.samples_per_chip();
+        let guard = (8.0 * spc) as usize;
+        let mut air_time_s = 0.0;
+        for _ in 0..frames {
+            for i in 0..n {
+                let payload = &mut spot_payloads[i];
+                payload.clear();
+                for _ in 0..cfg.payload_len {
+                    payload.push(rng.gen());
+                }
+                wire.clear();
+                Frame::encode_parts_into(u64::MAX, &header, payload, codec, wire);
+                spot_wire_lens[i] = wire.len();
+                let mac = &mut spot_mac[i];
+                mac.clear();
+                mac.encode_bytes(wire);
+                let chips = &mut spot_chips[i];
+                chips.clear();
+                chips.extend_from(pre);
+                chips.extend_from(mac);
+            }
+            let max_chips = spot_chips[..n]
+                .iter()
+                .map(PackedChips::len)
+                .max()
+                .expect("non-empty plan");
+            let n_samples = guard + (max_chips as f64 * spc).ceil() as usize + guard;
+            air_time_s += n_samples as f64 / cfg.sample_rate_hz;
+
+            spot_offsets.clear();
+            for _ in beamspots {
+                spot_offsets.push(scheme.sample_start_offset(cfg.symbol_rate_hz, &mut rng));
+            }
+
+            for (b, spot) in beamspots.iter().enumerate() {
+                photocurrent.clear();
+                photocurrent.resize(n_samples, 0.0);
+                for (other, other_spot) in beamspots.iter().enumerate() {
+                    let gain_sum: f64 = other_spot
+                        .txs
+                        .iter()
+                        .map(|&t| channel.gain(t, spot.rx))
+                        .sum();
+                    if gain_sum <= 0.0 {
+                        continue;
+                    }
+                    let amp = cfg.responsivity * gain_sum * a_opt;
+                    let delay = guard as f64 / cfg.sample_rate_hz + spot_offsets[other];
+                    render_packed_into(&spot_chips[other], wave_cfg, amp, delay, n_samples, wave);
+                    mix_into(photocurrent, wave);
+                }
+                for s in photocurrent.iter_mut() {
+                    *s += awgn.sample(&mut rng);
+                }
+
+                let Some((start, score)) = correlate_template(
+                    photocurrent,
+                    preamble_template,
+                    *preamble_energy,
+                    0,
+                    3 * guard,
+                ) else {
+                    continue;
+                };
+                if score < 0.3 {
+                    continue;
+                }
+                let mac_start = start + (pre.len() as f64 * spc).round() as usize;
+                if !slice_chips_packed_into(
+                    photocurrent,
+                    wave_cfg,
+                    mac_start,
+                    spot_wire_lens[b] * 16,
+                    sliced,
+                ) {
+                    continue;
+                }
+                if !sliced.decode_bytes_into(rx_bytes) {
+                    continue;
+                }
+                if let Ok((_, _, fixed)) =
+                    Frame::decode_parts_into(rx_bytes, codec, coded, payload_rx)
+                {
+                    if *payload_rx == spot_payloads[b] {
+                        spot_frames_ok[b] += 1;
+                        spot_rs_corrections[b] += fixed;
+                    }
+                }
+            }
+        }
+
+        let total_time_s = air_time_s + frames as f64 * cfg.turnaround_s;
+        (0..n)
+            .map(|b| E2eResult {
+                frames_total: frames,
+                frames_ok: spot_frames_ok[b],
+                per: 1.0 - spot_frames_ok[b] as f64 / frames as f64,
+                goodput_bps: (cfg.payload_len * 8 * spot_frames_ok[b]) as f64 / total_time_s,
+                rs_corrections: spot_rs_corrections[b],
+            })
+            .collect()
     }
 }
 
@@ -328,13 +852,17 @@ pub fn run_with_arq(
     let spc = cfg.sample_rate_hz / cfg.symbol_rate_hz;
     let air_s = ((8.0 * spc) * 2.0 + chips_per_frame * spc).ceil() / cfg.sample_rate_hz;
 
+    // One pipeline reused across every payload and retry: after the first
+    // attempt warms its buffers, retransmissions allocate nothing.
+    let mut pipeline = FramePipeline::new(cfg);
+    let noop = Registry::noop();
     for p in 0..payloads {
         for attempt in 0..=max_retries {
             attempts += 1;
             time_s += air_s + cfg.turnaround_s;
             // One frame through the physical pipeline (fresh seed per try).
             let try_seed = seed ^ ((p as u64) << 20) ^ (attempt as u64 + 1);
-            let ok = run(txs, scheme, cfg, 1, try_seed).frames_ok == 1;
+            let ok = pipeline.run(txs, scheme, cfg, 1, try_seed, &noop).frames_ok == 1;
             if !ok {
                 continue;
             }
@@ -388,6 +916,19 @@ pub fn run_concurrent(
     frames: usize,
     seed: u64,
 ) -> Vec<E2eResult> {
+    FramePipeline::new(cfg).run_concurrent(channel, beamspots, cfg, frames, seed)
+}
+
+/// The scalar reference implementation of [`run_concurrent`], pinned
+/// bit-identical to the packed pipeline by
+/// `packed_concurrent_matches_scalar_reference`.
+pub fn run_concurrent_scalar(
+    channel: &vlc_channel::ChannelMatrix,
+    beamspots: &[E2eBeamspot],
+    cfg: &E2eConfig,
+    frames: usize,
+    seed: u64,
+) -> Vec<E2eResult> {
     assert!(!beamspots.is_empty(), "need at least one beamspot");
     assert!(frames > 0, "need at least one frame");
     for spot in beamspots {
@@ -411,7 +952,7 @@ pub fn run_concurrent(
         symbol_rate_hz: cfg.symbol_rate_hz,
         sample_rate_hz: cfg.sample_rate_hz,
     };
-    let preamble_chips = manchester_encode(&PREAMBLE_BYTES);
+    let preamble_chips = &preamble().0;
     let a_opt = optical_swing_amplitude(&cfg.led, cfg.led.max_swing);
     let mut awgn = AwgnChannel::new(cfg.noise);
     let scheme = SyncScheme::nlos_paper();
@@ -482,7 +1023,7 @@ pub fn run_concurrent(
             }
 
             let Some((start, score)) =
-                correlate_pattern(&photocurrent, &wave_cfg, &preamble_chips, 0, 3 * guard)
+                correlate_pattern(&photocurrent, &wave_cfg, preamble_chips, 0, 3 * guard)
             else {
                 continue;
             };
@@ -810,6 +1351,123 @@ mod tests {
             results[0].per > 0.5 || results[1].per > 0.5,
             "cross-assignment should jam at least one stream: {results:?}"
         );
+    }
+
+    #[test]
+    fn preamble_hoist_matches_fresh_encoding() {
+        // The hoisted preamble shared by every run* call site must equal a
+        // fresh scalar encoding, and its packed twin must match chip for
+        // chip — the regression guard for the once-per-process hoist.
+        let (scalar, packed) = super::preamble();
+        assert_eq!(scalar, &manchester_encode(&PREAMBLE_BYTES));
+        assert_eq!(&packed.to_chips(), scalar);
+    }
+
+    #[test]
+    fn packed_run_matches_scalar_reference() {
+        // The pipeline must be bit-identical to the scalar path — not just
+        // statistically close — across clean, marginal, unsynchronized, and
+        // preamble-missing regimes.
+        let cfg = E2eConfig::default();
+        let (gains, hosts) = table5_setup();
+        let marginal = vec![E2eTx {
+            gain: gains[7] * 0.040,
+            host: hosts.host_of(7),
+        }];
+        let weak = vec![E2eTx {
+            gain: 1e-12,
+            host: 0,
+        }];
+        let two = two_tx();
+        let four = four_tx();
+        let cases: Vec<(&[E2eTx], SyncScheme, u64)> = vec![
+            (&two, SyncScheme::SyncOff, 1),
+            (&four, SyncScheme::SyncOff, 2),
+            (&four, SyncScheme::nlos_paper(), 3),
+            (&four, SyncScheme::NtpPtp, 5),
+            (&marginal, SyncScheme::SyncOff, 202),
+            (&weak, SyncScheme::SyncOff, 6),
+        ];
+        for (txs, scheme, seed) in cases {
+            let packed = run(txs, &scheme, &cfg, 12, seed);
+            let scalar = run_scalar(txs, &scheme, &cfg, 12, seed);
+            assert_eq!(packed, scalar, "scheme {scheme:?} seed {seed}");
+        }
+    }
+
+    #[test]
+    fn packed_pipeline_reuse_is_bit_identical() {
+        // A single pipeline reused across runs (the ARQ pattern) must give
+        // the same results as a fresh pipeline per run.
+        let cfg = E2eConfig::default();
+        let txs = two_tx();
+        let mut pipeline = FramePipeline::new(&cfg);
+        let noop = Registry::noop();
+        for seed in [9u64, 10, 11] {
+            let reused = pipeline.run(&txs, &SyncScheme::SyncOff, &cfg, 5, seed, &noop);
+            let fresh = run(&txs, &SyncScheme::SyncOff, &cfg, 5, seed);
+            assert_eq!(reused, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn packed_concurrent_matches_scalar_reference() {
+        use crate::e2e::{run_concurrent, run_concurrent_scalar, E2eBeamspot};
+        use vlc_mac::{Controller, ControllerConfig};
+        use vlc_testbed::Scenario;
+
+        let d = Deployment::scenario(Scenario::Two);
+        let controller = Controller::new(ControllerConfig::paper(1.2), 36, 4);
+        let plan = controller.plan(&d.model.channel);
+        let beamspots: Vec<E2eBeamspot> = plan
+            .beamspots
+            .iter()
+            .map(|s| E2eBeamspot {
+                rx: s.rx,
+                txs: s.txs.clone(),
+            })
+            .collect();
+        let cfg = E2eConfig::default();
+        let packed = run_concurrent(&d.model.channel, &beamspots, &cfg, 4, 71);
+        let scalar = run_concurrent_scalar(&d.model.channel, &beamspots, &cfg, 4, 71);
+        assert_eq!(packed, scalar);
+    }
+
+    #[test]
+    fn packed_run_emits_the_same_telemetry_counters() {
+        // Same counters, same values: the packed path must be
+        // observationally identical, not only in its E2eResult.
+        let cfg = E2eConfig::default();
+        let (gains, hosts) = table5_setup();
+        let marginal = vec![E2eTx {
+            gain: gains[7] * 0.040,
+            host: hosts.host_of(7),
+        }];
+        for (txs, scheme, seed) in [
+            (two_tx(), SyncScheme::SyncOff, 1u64),
+            (four_tx(), SyncScheme::SyncOff, 2),
+            (marginal, SyncScheme::SyncOff, 202),
+        ] {
+            let reg_packed = Registry::new();
+            let reg_scalar = Registry::new();
+            run_instrumented(&txs, &scheme, &cfg, 10, seed, &reg_packed);
+            run_scalar_instrumented(&txs, &scheme, &cfg, 10, seed, &reg_scalar);
+            for name in [
+                "phy.frames_encoded",
+                "phy.frames_decoded",
+                "phy.rs_symbols_corrected",
+                "phy.rs_uncorrectable",
+                "phy.frame_sync_errors",
+                "phy.preamble_misses",
+                "phy.frames_bad_payload",
+            ] {
+                assert_eq!(
+                    reg_packed.counter(name).get(),
+                    reg_scalar.counter(name).get(),
+                    "{name} diverged for scheme {scheme:?} seed {seed}"
+                );
+            }
+        }
     }
 
     #[test]

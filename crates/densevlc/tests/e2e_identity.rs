@@ -1,0 +1,102 @@
+//! Steady-state allocation audit for the end-to-end packed pipeline: after
+//! one warm-up run establishes every buffer's capacity, further frames —
+//! including ARQ-style single-frame retries — must perform zero heap
+//! allocations. (Bit-identity of the pipeline against the scalar reference
+//! is pinned by the `e2e` module tests; this file guards the other half of
+//! the fast-path contract.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use densevlc::e2e::{run_scalar, E2eConfig, E2eTx, FramePipeline};
+use vlc_sync::SyncScheme;
+use vlc_telemetry::Registry;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn txs() -> Vec<E2eTx> {
+    // Two same-host TXs with healthy gains (the Table 5 row-1 regime) —
+    // frames decode, so the whole encode→render→slice→RS cycle runs.
+    vec![
+        E2eTx {
+            gain: 2.4e-5,
+            host: 0,
+        },
+        E2eTx {
+            gain: 2.4e-5,
+            host: 0,
+        },
+    ]
+}
+
+#[test]
+fn warmed_pipeline_runs_frames_with_zero_allocations() {
+    let cfg = E2eConfig::default();
+    let txs = txs();
+    let noop = Registry::noop();
+    let mut pipeline = FramePipeline::new(&cfg);
+
+    // Warm-up: first run sizes every scratch buffer.
+    let warm = pipeline.run(&txs, &SyncScheme::SyncOff, &cfg, 2, 40, &noop);
+    assert_eq!(warm.frames_ok, 2, "warm-up link must be clean");
+
+    let mut results = Vec::with_capacity(4);
+    let n = allocations_during(|| {
+        for seed in 41..45u64 {
+            results.push(pipeline.run(&txs, &SyncScheme::SyncOff, &cfg, 3, seed, &noop));
+        }
+    });
+    assert_eq!(n, 0, "warmed pipeline made {n} heap allocations");
+
+    // The alloc-free runs still produce the reference results.
+    for (seed, got) in (41..45u64).zip(results) {
+        assert_eq!(got, run_scalar(&txs, &SyncScheme::SyncOff, &cfg, 3, seed));
+    }
+}
+
+#[test]
+fn warmed_pipeline_single_frame_retries_are_zero_alloc() {
+    // The ARQ pattern: many one-frame runs through one pipeline.
+    let cfg = E2eConfig::default();
+    let txs = txs();
+    let noop = Registry::noop();
+    let mut pipeline = FramePipeline::new(&cfg);
+    pipeline.run(&txs, &SyncScheme::SyncOff, &cfg, 1, 50, &noop);
+
+    let n = allocations_during(|| {
+        for seed in 51..61u64 {
+            pipeline.run(&txs, &SyncScheme::SyncOff, &cfg, 1, seed, &noop);
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "warmed single-frame retries made {n} heap allocations"
+    );
+}

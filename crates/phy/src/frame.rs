@@ -7,7 +7,7 @@
 //! portion — SFD (1 B), Length (2 B), Dst (2 B), Src (2 B), Protocol (2 B),
 //! the payload, and `⌈x/200⌉ × 16` Reed–Solomon parity bytes.
 
-use crate::rs::{ReedSolomon, RsError};
+use crate::rs::{ReedSolomon, RsCodec, RsError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vlc_telemetry::Registry;
@@ -177,6 +177,73 @@ impl Frame {
             },
             corrected,
         ))
+    }
+
+    /// Byte offset of the RS-coded payload region ([`SFD`] byte and header
+    /// fields precede it; the 8-byte TX mask comes first).
+    pub const FIXED_LEN: usize = 8 + 1 + 2 + 2 + 2 + 2;
+
+    /// Serializes a frame's parts into `out` (appended) through a reusable
+    /// [`RsCodec`] — the zero-alloc twin of [`Frame::to_bytes`], producing
+    /// byte-identical wire bytes without owning a [`Frame`].
+    pub fn encode_parts_into(
+        tx_id_mask: u64,
+        header: &FrameHeader,
+        payload: &[u8],
+        codec: &mut RsCodec,
+        out: &mut Vec<u8>,
+    ) {
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "payload exceeds the length field"
+        );
+        out.extend_from_slice(&tx_id_mask.to_be_bytes());
+        out.push(SFD);
+        out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&header.dst.to_be_bytes());
+        out.extend_from_slice(&header.src.to_be_bytes());
+        out.extend_from_slice(&header.protocol.to_be_bytes());
+        codec.encode_payload_into(payload, out);
+    }
+
+    /// Parses and error-corrects a wire stream into caller-owned buffers —
+    /// the zero-alloc twin of [`Frame::from_bytes`]: identical field
+    /// decoding, identical errors, and the corrected payload lands in
+    /// `payload_out` (cleared first; `coded_scratch` holds the working
+    /// copy of the RS region). Returns the TX mask, header, and corrected
+    /// byte count.
+    pub fn decode_parts_into(
+        bytes: &[u8],
+        codec: &mut RsCodec,
+        coded_scratch: &mut Vec<u8>,
+        payload_out: &mut Vec<u8>,
+    ) -> Result<(u64, FrameHeader, usize), FrameError> {
+        payload_out.clear();
+        if bytes.len() < Self::FIXED_LEN {
+            return Err(FrameError::Truncated);
+        }
+        let tx_id_mask = u64::from_be_bytes(bytes[0..8].try_into().expect("8 bytes"));
+        if bytes[8] != SFD {
+            return Err(FrameError::BadSfd { found: bytes[8] });
+        }
+        let payload_len = u16::from_be_bytes([bytes[9], bytes[10]]) as usize;
+        let dst = u16::from_be_bytes([bytes[11], bytes[12]]);
+        let src = u16::from_be_bytes([bytes[13], bytes[14]]);
+        let protocol = u16::from_be_bytes([bytes[15], bytes[16]]);
+        let n_chunks = payload_len.div_ceil(crate::rs::PAPER_CHUNK);
+        let coded_len = payload_len + n_chunks * codec.parity_len();
+        let available = bytes.len() - Self::FIXED_LEN;
+        if available != coded_len {
+            return Err(FrameError::LengthMismatch {
+                declared: coded_len,
+                available,
+            });
+        }
+        coded_scratch.clear();
+        coded_scratch.extend_from_slice(&bytes[Self::FIXED_LEN..]);
+        let corrected = codec.decode_payload_in_place(coded_scratch, payload_len)?;
+        codec.extract_payload_into(coded_scratch, payload_len, payload_out);
+        Ok((tx_id_mask, FrameHeader { dst, src, protocol }, corrected))
     }
 
     /// [`Self::to_bytes`] with telemetry: counts the frame into
@@ -351,6 +418,57 @@ mod tests {
     #[should_panic(expected = "does not fit")]
     fn mask_for_rejects_large_index() {
         Frame::mask_for(&[64]);
+    }
+
+    #[test]
+    fn parts_codec_matches_owned_frame_path() {
+        let mut codec = RsCodec::paper();
+        let frame = sample_frame((0..300u16).map(|i| (i % 256) as u8).collect());
+        let mut wire = Vec::new();
+        Frame::encode_parts_into(
+            frame.tx_id_mask,
+            &frame.header,
+            &frame.payload,
+            &mut codec,
+            &mut wire,
+        );
+        assert_eq!(wire, frame.to_bytes(&rs()));
+        wire[20] ^= 0x41;
+        wire[260] ^= 0x7f;
+        let mut scratch = Vec::new();
+        let mut payload = Vec::new();
+        let (mask, header, corrected) =
+            Frame::decode_parts_into(&wire, &mut codec, &mut scratch, &mut payload)
+                .expect("repairable");
+        let (parsed, fixed) = Frame::from_bytes(&wire, &rs()).expect("repairable");
+        assert_eq!(mask, parsed.tx_id_mask);
+        assert_eq!(header, parsed.header);
+        assert_eq!(corrected, fixed);
+        assert_eq!(payload, parsed.payload);
+    }
+
+    #[test]
+    fn parts_codec_reports_same_errors() {
+        let mut codec = RsCodec::paper();
+        let mut scratch = Vec::new();
+        let mut payload = Vec::new();
+        let frame = sample_frame(vec![1, 2, 3]);
+        let mut bytes = frame.to_bytes(&rs());
+        bytes[8] = 0x00;
+        assert_eq!(
+            Frame::decode_parts_into(&bytes, &mut codec, &mut scratch, &mut payload),
+            Err(FrameError::BadSfd { found: 0x00 })
+        );
+        assert_eq!(
+            Frame::decode_parts_into(&[0u8; 5], &mut codec, &mut scratch, &mut payload),
+            Err(FrameError::Truncated)
+        );
+        let mut short = frame.to_bytes(&rs());
+        short.pop();
+        assert!(matches!(
+            Frame::decode_parts_into(&short, &mut codec, &mut scratch, &mut payload),
+            Err(FrameError::LengthMismatch { .. })
+        ));
     }
 
     proptest! {

@@ -10,6 +10,8 @@
 //! the M2M4 moments method. This crate implements all of it:
 //!
 //! * [`manchester`] — Manchester bit/chip coding.
+//! * [`packed`] — the bit-packed fast path: chip streams as `u64` words
+//!   with LUT encode and word-wise decode, bit-identical to [`manchester`].
 //! * [`gf256`] + [`rs`] — GF(2⁸) arithmetic and the Reed–Solomon
 //!   encoder/decoder (t = 8 symbol corrections per 216-byte block).
 //! * [`frame`] — the Table 3 frame layout: TX-ID mask, pilot, preamble,
@@ -33,11 +35,13 @@ pub mod gf256;
 pub mod interleave;
 pub mod manchester;
 pub mod ofdm;
+pub mod packed;
 pub mod rs;
 pub mod snr;
 pub mod waveform;
 
 pub use frame::{Frame, FrameError, FrameHeader};
 pub use manchester::{manchester_decode, manchester_encode, Chip};
-pub use rs::{ReedSolomon, RsError};
+pub use packed::{packed_decode, packed_encode, PackedChips};
+pub use rs::{ReedSolomon, RsCodec, RsError};
 pub use snr::m2m4_snr;

@@ -200,8 +200,14 @@ impl ReedSolomon {
 
     /// Berlekamp–Massey over the syndromes; returns Λ low-degree first.
     fn berlekamp_massey(&self, synd: &[u8]) -> Vec<u8> {
-        let mut lambda = vec![1u8];
-        let mut prev = vec![1u8];
+        // Three buffers for the whole run: the update is in place
+        // (`add_shifted_in_place`) and the Λ backup swaps through `tmp`
+        // instead of allocating a fresh `Vec` every iteration.
+        let mut lambda = Vec::with_capacity(synd.len() + 2);
+        let mut prev = Vec::with_capacity(synd.len() + 2);
+        let mut tmp = Vec::with_capacity(synd.len() + 2);
+        lambda.push(1u8);
+        prev.push(1u8);
         let mut l = 0usize;
         let mut m = 1usize;
         let mut b = 1u8;
@@ -214,33 +220,22 @@ impl ReedSolomon {
             if delta == 0 {
                 m += 1;
             } else if 2 * l <= n {
-                let t = lambda.clone();
+                tmp.clear();
+                tmp.extend_from_slice(&lambda);
                 let coeff = self.gf.div(delta, b);
-                lambda = self.add_shifted(&lambda, &prev, coeff, m);
-                prev = t;
+                add_shifted_in_place(&self.gf, &mut lambda, &prev, coeff, m);
+                std::mem::swap(&mut prev, &mut tmp);
                 l = n + 1 - l;
                 b = delta;
                 m = 1;
             } else {
                 let coeff = self.gf.div(delta, b);
-                lambda = self.add_shifted(&lambda, &prev, coeff, m);
+                add_shifted_in_place(&self.gf, &mut lambda, &prev, coeff, m);
                 m += 1;
             }
         }
         lambda.truncate(l + 1);
         lambda
-    }
-
-    /// `a(x) + coeff · x^shift · b(x)` (all low-degree first).
-    fn add_shifted(&self, a: &[u8], b: &[u8], coeff: u8, shift: usize) -> Vec<u8> {
-        let mut out = a.to_vec();
-        if out.len() < b.len() + shift {
-            out.resize(b.len() + shift, 0);
-        }
-        for (i, &bi) in b.iter().enumerate() {
-            out[i + shift] ^= self.gf.mul(coeff, bi);
-        }
-        out
     }
 
     /// Ω(x) = S(x)·Λ(x) mod x^nroots, low-degree first.
@@ -307,6 +302,325 @@ impl ReedSolomon {
         }
         Ok((payload, corrected))
     }
+}
+
+/// `a(x) += coeff · x^shift · b(x)` (all low-degree first), in place.
+///
+/// The only growth is `resize` up to `b.len() + shift`, which never
+/// reallocates once the buffer's capacity covers the codec's locator
+/// degree bound — the fix for the per-iteration `Vec` the old
+/// `add_shifted` allocated inside every Berlekamp–Massey step.
+fn add_shifted_in_place(gf: &Gf256, a: &mut Vec<u8>, b: &[u8], coeff: u8, shift: usize) {
+    if a.len() < b.len() + shift {
+        a.resize(b.len() + shift, 0);
+    }
+    for (i, &bi) in b.iter().enumerate() {
+        a[i + shift] ^= gf.mul(coeff, bi);
+    }
+}
+
+/// A reusable Reed–Solomon workspace: the same code as [`ReedSolomon`]
+/// (outputs are byte-identical — pinned by proptests in
+/// `crates/phy/tests/packed_identity.rs`) with every per-block allocation
+/// hoisted into the struct, plus two precomputed tables:
+///
+/// * a 256 × `nroots` feedback table (`feedback → feedback · g_i`) that
+///   turns the systematic LFSR encode into branch-free row XORs, and
+/// * the generator-root/Chien tables `α^p` and `α^{-p}` for `p < 255`,
+///   so syndrome roots and locator arguments are plain lookups.
+///
+/// After warm-up (first block of each length), `encode_into` /
+/// `decode_in_place` perform zero heap allocations — demonstrated by the
+/// counting-allocator test in `crates/phy/tests/zero_alloc.rs`.
+#[derive(Debug, Clone)]
+pub struct RsCodec {
+    rs: ReedSolomon,
+    /// Row `f` holds `f · generator[1..]` (`nroots` bytes per row).
+    feedback_tab: Vec<u8>,
+    /// `α^p` for `p < 255` (Forney's X).
+    root: [u8; 255],
+    /// `α^{(255 - p) mod 255}` for `p < 255` (Chien's X⁻¹).
+    inv_root: [u8; 255],
+    // Scratch (capacities established in `new`, reused per block).
+    parity: Vec<u8>,
+    synd: Vec<u8>,
+    lambda: Vec<u8>,
+    prev: Vec<u8>,
+    tmp: Vec<u8>,
+    omega: Vec<u8>,
+    lambda_deriv: Vec<u8>,
+    positions: Vec<usize>,
+}
+
+impl RsCodec {
+    /// Creates a workspace with `nroots` parity symbols.
+    ///
+    /// # Panics
+    /// Panics if `nroots` is 0 or ≥ 255.
+    pub fn new(nroots: usize) -> Self {
+        let rs = ReedSolomon::new(nroots);
+        let mut feedback_tab = vec![0u8; 256 * nroots];
+        for f in 0..256usize {
+            for (i, &g) in rs.generator[1..].iter().enumerate() {
+                feedback_tab[f * nroots + i] = rs.gf.mul(f as u8, g);
+            }
+        }
+        let mut root = [0u8; 255];
+        let mut inv_root = [0u8; 255];
+        for p in 0..255usize {
+            root[p] = rs.gf.alpha_pow(p);
+            inv_root[p] = rs.gf.alpha_pow((255 - p) % 255);
+        }
+        // Locator/scratch degree bound: Berlekamp–Massey can transiently
+        // grow Λ to `b.len() + shift` ≤ nroots + 1; syndromes and Ω hold
+        // nroots entries; Chien can flag at most 255 candidate positions.
+        let poly_cap = 2 * nroots + 4;
+        RsCodec {
+            rs,
+            feedback_tab,
+            root,
+            inv_root,
+            parity: Vec::with_capacity(nroots),
+            synd: Vec::with_capacity(nroots),
+            lambda: Vec::with_capacity(poly_cap),
+            prev: Vec::with_capacity(poly_cap),
+            tmp: Vec::with_capacity(poly_cap),
+            omega: Vec::with_capacity(nroots),
+            lambda_deriv: Vec::with_capacity(nroots),
+            positions: Vec::with_capacity(255),
+        }
+    }
+
+    /// The paper's RS(216, 200) workspace (t = 8).
+    pub fn paper() -> Self {
+        RsCodec::new(PAPER_PARITY)
+    }
+
+    /// Number of parity symbols.
+    pub fn parity_len(&self) -> usize {
+        self.rs.nroots
+    }
+
+    /// Maximum number of correctable byte errors per block.
+    pub fn correction_capacity(&self) -> usize {
+        self.rs.correction_capacity()
+    }
+
+    /// The scalar codec this workspace mirrors.
+    pub fn reference(&self) -> &ReedSolomon {
+        &self.rs
+    }
+
+    /// Appends `data ‖ parity` to `out` — allocation-free counterpart of
+    /// [`ReedSolomon::encode`], with the LFSR feedback multiplications
+    /// replaced by one row XOR from the precomputed feedback table.
+    ///
+    /// # Panics
+    /// Panics if the resulting block would exceed 255 bytes.
+    pub fn encode_into(&mut self, data: &[u8], out: &mut Vec<u8>) {
+        let nroots = self.rs.nroots;
+        assert!(
+            data.len() + nroots <= 255,
+            "RS block would exceed 255 bytes ({} data + {} parity)",
+            data.len(),
+            nroots
+        );
+        self.parity.clear();
+        self.parity.resize(nroots, 0);
+        for &b in data {
+            let feedback = (b ^ self.parity[0]) as usize;
+            let row = &self.feedback_tab[feedback * nroots..(feedback + 1) * nroots];
+            // parity <<= 1 byte; parity[i] ^= feedback · g_{i+1}, fused.
+            for (i, &r) in row.iter().enumerate().take(nroots - 1) {
+                self.parity[i] = self.parity[i + 1] ^ r;
+            }
+            self.parity[nroots - 1] = row[nroots - 1];
+        }
+        out.extend_from_slice(data);
+        out.extend_from_slice(&self.parity);
+    }
+
+    /// Appends the chunked encoding of `payload` (the
+    /// [`ReedSolomon::encode_payload`] layout) to `out`.
+    pub fn encode_payload_into(&mut self, payload: &[u8], out: &mut Vec<u8>) {
+        for chunk in payload.chunks(PAPER_CHUNK) {
+            self.encode_into(chunk, out);
+        }
+    }
+
+    /// Decodes a block in place — allocation-free counterpart of
+    /// [`ReedSolomon::decode`], byte-identical in corrections and errors.
+    pub fn decode_in_place(&mut self, block: &mut [u8]) -> Result<usize, RsError> {
+        let nroots = self.rs.nroots;
+        let n = block.len();
+        if n <= nroots || n > 255 {
+            return Err(RsError::BadBlockLength { len: n });
+        }
+        // Syndromes S_j = r(α^j), j = 0..nroots-1.
+        self.synd.clear();
+        for j in 0..nroots {
+            self.synd.push(self.rs.gf.poly_eval(block, self.root[j]));
+        }
+        if self.synd.iter().all(|&s| s == 0) {
+            return Ok(0);
+        }
+
+        // Berlekamp–Massey, in place over the struct scratch.
+        self.berlekamp_massey();
+        let gf = &self.rs.gf;
+        let n_errors = self.lambda.len() - 1;
+        if n_errors == 0 || n_errors > self.rs.correction_capacity() {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Chien search over the block's positions.
+        self.positions.clear();
+        for i in 0..n {
+            let power = n - 1 - i;
+            let x_inv = self.inv_root[power % 255];
+            if eval_low_first(gf, &self.lambda, x_inv) == 0 {
+                self.positions.push(i);
+            }
+        }
+        if self.positions.len() != n_errors {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Forney: Ω(x) = [S(x)·Λ(x)] mod x^nroots (low-degree first).
+        self.omega.clear();
+        self.omega.resize(nroots, 0);
+        for (i, &s) in self.synd.iter().enumerate() {
+            for (j, &lj) in self.lambda.iter().enumerate() {
+                if i + j < nroots {
+                    self.omega[i + j] ^= gf.mul(s, lj);
+                }
+            }
+        }
+        // Λ'(x): formal derivative (char 2 keeps only odd-degree terms).
+        self.lambda_deriv.clear();
+        self.lambda_deriv
+            .extend(self.lambda.iter().skip(1).step_by(2));
+        for &i in &self.positions {
+            let power = n - 1 - i;
+            let x = self.root[power % 255];
+            let x_inv = gf.inv(x);
+            let num = eval_low_first(gf, &self.omega, x_inv);
+            let mut den = 0u8;
+            let x_inv_sq = gf.mul(x_inv, x_inv);
+            let mut xp = 1u8;
+            for &c in &self.lambda_deriv {
+                den ^= gf.mul(c, xp);
+                xp = gf.mul(xp, x_inv_sq);
+            }
+            if den == 0 {
+                return Err(RsError::TooManyErrors);
+            }
+            let magnitude = gf.mul(x, gf.div(num, den));
+            block[i] ^= magnitude;
+        }
+
+        // Re-check the syndromes to trap miscorrections.
+        let ok = (0..nroots).all(|j| gf.poly_eval(block, self.root[j]) == 0);
+        if ok {
+            Ok(self.positions.len())
+        } else {
+            Err(RsError::TooManyErrors)
+        }
+    }
+
+    /// Corrects every chunk of an [`RsCodec::encode_payload_into`] stream
+    /// in place, returning the total corrected byte count. The payload
+    /// stays interleaved with its parity in `coded`; pull it out with
+    /// [`RsCodec::extract_payload_into`].
+    pub fn decode_payload_in_place(
+        &mut self,
+        coded: &mut [u8],
+        payload_len: usize,
+    ) -> Result<usize, RsError> {
+        let n_chunks = payload_len.div_ceil(PAPER_CHUNK);
+        let expected = payload_len + n_chunks * self.rs.nroots;
+        if coded.len() != expected {
+            return Err(RsError::BadBlockLength { len: coded.len() });
+        }
+        let mut corrected = 0;
+        let mut offset = 0;
+        let mut remaining = payload_len;
+        for _ in 0..n_chunks {
+            let chunk_len = remaining.min(PAPER_CHUNK);
+            let block_len = chunk_len + self.rs.nroots;
+            corrected += self.decode_in_place(&mut coded[offset..offset + block_len])?;
+            offset += block_len;
+            remaining -= chunk_len;
+        }
+        Ok(corrected)
+    }
+
+    /// Appends the payload bytes of a (decoded) chunked stream to `out`,
+    /// skipping the per-chunk parity.
+    pub fn extract_payload_into(&self, coded: &[u8], payload_len: usize, out: &mut Vec<u8>) {
+        let mut offset = 0;
+        let mut remaining = payload_len;
+        while remaining > 0 {
+            let chunk_len = remaining.min(PAPER_CHUNK);
+            out.extend_from_slice(&coded[offset..offset + chunk_len]);
+            offset += chunk_len + self.rs.nroots;
+            remaining -= chunk_len;
+        }
+    }
+
+    /// Berlekamp–Massey over `self.synd` into `self.lambda`, reusing the
+    /// `prev`/`tmp` scratch — zero allocations once capacities are warm.
+    fn berlekamp_massey(&mut self) {
+        let RsCodec {
+            rs,
+            synd,
+            lambda,
+            prev,
+            tmp,
+            ..
+        } = self;
+        let gf = &rs.gf;
+        lambda.clear();
+        lambda.push(1u8);
+        prev.clear();
+        prev.push(1u8);
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u8;
+        for n in 0..synd.len() {
+            let mut delta = synd[n];
+            for i in 1..=l.min(lambda.len() - 1) {
+                delta ^= gf.mul(lambda[i], synd[n - i]);
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= n {
+                tmp.clear();
+                tmp.extend_from_slice(lambda);
+                let coeff = gf.div(delta, b);
+                add_shifted_in_place(gf, lambda, prev, coeff, m);
+                std::mem::swap(prev, tmp);
+                l = n + 1 - l;
+                b = delta;
+                m = 1;
+            } else {
+                let coeff = gf.div(delta, b);
+                add_shifted_in_place(gf, lambda, prev, coeff, m);
+                m += 1;
+            }
+        }
+        lambda.truncate(l + 1);
+    }
+}
+
+/// Evaluates a low-degree-first polynomial at `x` (free-function twin of
+/// [`ReedSolomon::eval_low_first`] for use with split borrows).
+fn eval_low_first(gf: &Gf256, poly: &[u8], x: u8) -> u8 {
+    let mut acc = 0u8;
+    for &c in poly.iter().rev() {
+        acc = gf.mul(acc, x) ^ c;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -441,6 +755,86 @@ mod tests {
     #[should_panic(expected = "255")]
     fn oversized_block_panics_on_encode() {
         ReedSolomon::paper().encode(&vec![0u8; 240]);
+    }
+
+    #[test]
+    fn codec_encode_matches_scalar() {
+        let rs = ReedSolomon::paper();
+        let mut codec = RsCodec::paper();
+        for len in [1usize, 10, 199, 200] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let mut out = Vec::new();
+            codec.encode_into(&data, &mut out);
+            assert_eq!(out, rs.encode(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn codec_decode_matches_scalar_under_errors() {
+        let rs = ReedSolomon::paper();
+        let mut codec = RsCodec::paper();
+        let mut rng = StdRng::seed_from_u64(99);
+        let data: Vec<u8> = (0..200).map(|_| rng.gen()).collect();
+        let clean = rs.encode(&data);
+        for n_err in 0..=12usize {
+            let mut a = clean.clone();
+            let mut b = clean.clone();
+            let mut positions = std::collections::HashSet::new();
+            while positions.len() < n_err {
+                positions.insert(rng.gen_range(0..a.len()));
+            }
+            for &p in &positions {
+                let flip = rng.gen_range(1..=255u8);
+                a[p] ^= flip;
+                b[p] ^= flip;
+            }
+            assert_eq!(
+                rs.decode(&mut a),
+                codec.decode_in_place(&mut b),
+                "result mismatch at {n_err} errors"
+            );
+            assert_eq!(a, b, "block mismatch at {n_err} errors");
+        }
+    }
+
+    #[test]
+    fn codec_payload_roundtrip_matches_scalar() {
+        let rs = ReedSolomon::paper();
+        let mut codec = RsCodec::paper();
+        let payload: Vec<u8> = (0..517).map(|i| (i % 256) as u8).collect();
+        let mut packed_out = Vec::new();
+        codec.encode_payload_into(&payload, &mut packed_out);
+        assert_eq!(packed_out, rs.encode_payload(&payload));
+        packed_out[10] ^= 1;
+        packed_out[250] ^= 2;
+        packed_out[500] ^= 3;
+        let mut scalar_coded = packed_out.clone();
+        let corrected = codec
+            .decode_payload_in_place(&mut packed_out, 517)
+            .expect("decodable");
+        let (scalar_payload, scalar_fixed) = rs
+            .decode_payload(&mut scalar_coded, 517)
+            .expect("decodable");
+        assert_eq!(corrected, scalar_fixed);
+        let mut extracted = Vec::new();
+        codec.extract_payload_into(&packed_out, 517, &mut extracted);
+        assert_eq!(extracted, scalar_payload);
+        assert_eq!(extracted, payload);
+    }
+
+    #[test]
+    fn codec_rejects_bad_lengths_like_scalar() {
+        let mut codec = RsCodec::paper();
+        let mut short = vec![0u8; 16];
+        assert_eq!(
+            codec.decode_in_place(&mut short),
+            Err(RsError::BadBlockLength { len: 16 })
+        );
+        let mut wrong = vec![0u8; 100];
+        assert!(matches!(
+            codec.decode_payload_in_place(&mut wrong, 200),
+            Err(RsError::BadBlockLength { .. })
+        ));
     }
 
     proptest! {

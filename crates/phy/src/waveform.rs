@@ -8,6 +8,7 @@
 //! with a mid-chip slicer.
 
 use crate::manchester::Chip;
+use crate::packed::PackedChips;
 use serde::{Deserialize, Serialize};
 
 /// Waveform timing configuration.
@@ -76,6 +77,159 @@ pub fn render(
         .collect()
 }
 
+/// Shared fixed-stride render kernel: fills `out` chip run by chip run
+/// (each run is a contiguous constant-valued slice — no per-sample branch
+/// or division, so the fill autovectorizes) while reproducing the scalar
+/// [`render`]'s per-sample boundary decisions *exactly*: a sample `i`
+/// belongs to chip `k` iff `i as f64 - delay_samples >= 0` and
+/// `((i - delay) / spc) as usize == k`, the very expression `render`
+/// evaluates. Run boundaries are estimated in closed form and then
+/// corrected by at most a couple of samples against that predicate, so the
+/// output is bit-identical to the scalar path for any delay or rate.
+fn render_runs_into(
+    n_chips: usize,
+    chip_high: impl Fn(usize) -> bool,
+    cfg: &WaveformConfig,
+    amplitude: f64,
+    delay_s: f64,
+    n_samples: usize,
+    out: &mut Vec<f64>,
+) {
+    assert!(amplitude >= 0.0, "amplitude must be non-negative");
+    let spc = cfg.samples_per_chip();
+    let d = delay_s * cfg.sample_rate_hz;
+    // Every sample is written exactly once below (zero prefix, one run per
+    // chip, zero suffix — the runs are contiguous), so a stale buffer of
+    // the right length needs no zeroing pass first.
+    if out.len() != n_samples {
+        out.clear();
+        out.resize(n_samples, 0.0);
+    }
+    // Chip index of sample `i` (valid only for i as f64 >= d): the exact
+    // scalar expression, used to verify estimated run boundaries.
+    let idx_at = |i: usize| ((i as f64 - d) / spc) as usize;
+    // First sample with a non-negative position.
+    let first = if d <= 0.0 {
+        0usize
+    } else {
+        (d.ceil() as usize).min(n_samples)
+    };
+    out[..first].fill(0.0);
+    // Exact-grid fast path: when the delay and samples-per-chip are both
+    // integer-valued (the paper configuration and any synchronized TX),
+    // the scalar predicate `((i - d) / spc) as usize` equals exact integer
+    // floor division — `i - d` is an exact integer below 2^51, so the
+    // quotient's rounding error is under `2^-53 · (i-d)/spc`, far smaller
+    // than the `1/spc` gap to the nearest integer (and exact multiples
+    // divide exactly). Chip k therefore ends at sample `d + (k+1)·spc`
+    // precisely: no divisions, no boundary corrections.
+    if spc.fract() == 0.0
+        && spc >= 1.0
+        && d.fract() == 0.0
+        && d.abs() + (n_chips as f64 + 1.0) * spc < 2.0e15
+    {
+        let s = spc as i64;
+        let d_i = d as i64;
+        let mut start = first;
+        for k in 0..n_chips {
+            if start >= n_samples {
+                break;
+            }
+            let end = ((d_i + (k as i64 + 1) * s).clamp(0, n_samples as i64) as usize).max(start);
+            let value = if chip_high(k) { amplitude } else { -amplitude };
+            out[start..end].fill(value);
+            start = end;
+        }
+        out[start..].fill(0.0);
+        return;
+    }
+    // Chip k ends at the first sample whose exact scalar index exceeds k
+    // (`idx_at` is monotone in `i`, so that boundary is unique). The
+    // boundaries are found from a closed-form estimate corrected by a
+    // couple of samples against `idx_at` — and because each boundary is
+    // independent of the previous one, they are resolved in blocks of 64
+    // ahead of the sequential run fill, keeping the divisions pipelined
+    // instead of serialized behind each fill.
+    let mut bounds = [0usize; 64];
+    let mut start = first;
+    let mut k0 = 0usize;
+    while k0 < n_chips && start < n_samples {
+        let block = (n_chips - k0).min(64);
+        for (j, b) in bounds[..block].iter_mut().enumerate() {
+            let k = k0 + j;
+            let est = d + (k as f64 + 1.0) * spc;
+            let mut end = if est <= 0.0 {
+                0usize
+            } else {
+                (est.ceil() as usize).min(n_samples)
+            };
+            while end > 0 && idx_at(end - 1) > k {
+                end -= 1;
+            }
+            while end < n_samples && idx_at(end) == k {
+                end += 1;
+            }
+            *b = end;
+        }
+        for (j, &b) in bounds[..block].iter().enumerate() {
+            let end = b.max(start);
+            let value = if chip_high(k0 + j) {
+                amplitude
+            } else {
+                -amplitude
+            };
+            out[start..end].fill(value);
+            start = end;
+        }
+        k0 += block;
+    }
+    out[start..].fill(0.0);
+}
+
+/// [`render`] into a caller-owned buffer (cleared and resized; no
+/// allocation once `out`'s capacity covers `n_samples`), using the
+/// fixed-stride run kernel. Bit-identical to [`render`].
+pub fn render_into(
+    chips: &[Chip],
+    cfg: &WaveformConfig,
+    amplitude: f64,
+    delay_s: f64,
+    n_samples: usize,
+    out: &mut Vec<f64>,
+) {
+    render_runs_into(
+        chips.len(),
+        |k| chips[k] == Chip::High,
+        cfg,
+        amplitude,
+        delay_s,
+        n_samples,
+        out,
+    );
+}
+
+/// [`render_into`] over a bit-packed chip stream — the zero-alloc fast
+/// path used by the frame pipeline.
+pub fn render_packed_into(
+    chips: &PackedChips,
+    cfg: &WaveformConfig,
+    amplitude: f64,
+    delay_s: f64,
+    n_samples: usize,
+    out: &mut Vec<f64>,
+) {
+    let words = chips.words();
+    render_runs_into(
+        chips.len(),
+        |k| (words[k >> 6] >> (k & 63)) & 1 == 1,
+        cfg,
+        amplitude,
+        delay_s,
+        n_samples,
+        out,
+    );
+}
+
 /// Adds waveform `b` into `a` element-wise (superposition of several TXs'
 /// light at one photodiode).
 pub fn mix_into(a: &mut [f64], b: &[f64]) {
@@ -112,6 +266,134 @@ pub fn slice_chips(
     Some(chips)
 }
 
+/// [`slice_chips`] into a reusable [`PackedChips`] buffer (cleared first;
+/// zero allocations once capacity is warm). The per-chip windows, means,
+/// and the zero threshold are the exact scalar expressions, so the sliced
+/// chips are bit-identical to [`slice_chips`]'s. Returns `false` — the
+/// scalar `None` — when the stream is too short.
+pub fn slice_chips_packed_into(
+    samples: &[f64],
+    cfg: &WaveformConfig,
+    start_sample: usize,
+    n_chips: usize,
+    out: &mut PackedChips,
+) -> bool {
+    let spc = cfg.samples_per_chip();
+    out.clear();
+    // Chips accumulate in a local word flushed every 64 — no per-chip
+    // indexing into the word vector. The window count divides out of the
+    // scalar decision (`mean >= 0` ⟺ `sum >= 0` for a positive count,
+    // including the −0.0 and NaN cases), so the per-chip division goes too.
+    let mut word = 0u64;
+    let mut filled = 0usize;
+    // Exact-grid fast path: for an integer samples-per-chip, `begin` is an
+    // exact integer and `0.25·spc`/`0.75·spc` are exact (two fractional
+    // bits at most), so the scalar `floor(begin + 0.25·spc)` equals
+    // `begin + floor(0.25·spc)` — the per-chip window is a fixed integer
+    // stride and width, no float rounding involved. The window is never
+    // empty for spc ≥ 1 (`floor(0.25·spc) < ceil(0.75·spc)`), so only the
+    // length check remains, at the same chip index as the scalar loop.
+    if spc.fract() == 0.0
+        && spc >= 1.0
+        && start_sample as f64 + (n_chips as f64 + 1.0) * spc < 2.0e15
+    {
+        let s = spc as usize;
+        let width = (0.75 * spc).ceil() as usize - (0.25 * spc).floor() as usize;
+        let mut lo = start_sample + (0.25 * spc).floor() as usize;
+        for _ in 0..n_chips {
+            let hi = lo + width;
+            if hi > samples.len() {
+                out.clear();
+                return false;
+            }
+            let sum: f64 = samples[lo..hi].iter().sum();
+            if sum >= 0.0 {
+                word |= 1 << filled;
+            }
+            filled += 1;
+            if filled == 64 {
+                out.push_word_aligned(word, 64);
+                word = 0;
+                filled = 0;
+            }
+            lo += s;
+        }
+        if filled > 0 {
+            out.push_word_aligned(word, filled);
+        }
+        return true;
+    }
+    for k in 0..n_chips {
+        let begin = start_sample as f64 + k as f64 * spc;
+        let lo = (begin + 0.25 * spc).floor() as usize;
+        let hi = (begin + 0.75 * spc).ceil() as usize;
+        if hi > samples.len() || lo >= hi {
+            out.clear();
+            return false;
+        }
+        let sum: f64 = samples[lo..hi].iter().sum();
+        if sum >= 0.0 {
+            word |= 1 << filled;
+        }
+        filled += 1;
+        if filled == 64 {
+            out.push_word_aligned(word, 64);
+            word = 0;
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        out.push_word_aligned(word, filled);
+    }
+    true
+}
+
+/// Correlation against a pre-rendered template — the hoisted kernel under
+/// [`correlate_pattern`]. The dot product and window energy accumulate in
+/// one fixed-stride pass (two independent accumulators, each summing in
+/// the same order as the scalar two-pass loop, so scores are
+/// bit-identical); the template and its energy are computed once by the
+/// caller instead of on every call.
+pub fn correlate_template(
+    samples: &[f64],
+    template: &[f64],
+    t_energy: f64,
+    search_from: usize,
+    search_len: usize,
+) -> Option<(usize, f64)> {
+    if template.is_empty() {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    let last_start = search_from
+        .checked_add(search_len)?
+        .min(samples.len().checked_sub(template.len())?);
+    for start in search_from..=last_start {
+        let window = &samples[start..start + template.len()];
+        let mut dot = 0.0f64;
+        let mut energy = 0.0f64;
+        for (&a, &b) in window.iter().zip(template) {
+            dot += a * b;
+            energy += a * a;
+        }
+        let w_energy = energy.sqrt();
+        if w_energy < 1e-30 {
+            continue;
+        }
+        let score = dot / (t_energy * w_energy);
+        if best.is_none_or(|(_, b)| score > b) {
+            best = Some((start, score));
+        }
+    }
+    best
+}
+
+/// Energy (root of the sum of squares) of a rendered template, in the
+/// summation order [`correlate_template`] expects.
+pub fn template_energy(template: &[f64]) -> f64 {
+    template.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
 /// Finds the start of a known chip pattern in a sample stream by normalized
 /// cross-correlation, scanning candidate offsets at one-sample granularity.
 /// Returns the best-matching start sample and the correlation score in
@@ -130,27 +412,13 @@ pub fn correlate_pattern(
         0.0,
         (pattern.len() as f64 * cfg.samples_per_chip()).round() as usize,
     );
-    if template.is_empty() {
-        return None;
-    }
-    let t_energy: f64 = template.iter().map(|x| x * x).sum::<f64>().sqrt();
-    let mut best: Option<(usize, f64)> = None;
-    let last_start = search_from
-        .checked_add(search_len)?
-        .min(samples.len().checked_sub(template.len())?);
-    for start in search_from..=last_start {
-        let window = &samples[start..start + template.len()];
-        let dot: f64 = window.iter().zip(&template).map(|(a, b)| a * b).sum();
-        let w_energy: f64 = window.iter().map(|x| x * x).sum::<f64>().sqrt();
-        if w_energy < 1e-30 {
-            continue;
-        }
-        let score = dot / (t_energy * w_energy);
-        if best.is_none_or(|(_, b)| score > b) {
-            best = Some((start, score));
-        }
-    }
-    best
+    correlate_template(
+        samples,
+        &template,
+        template_energy(&template),
+        search_from,
+        search_len,
+    )
 }
 
 #[cfg(test)]
@@ -242,5 +510,68 @@ mod tests {
     fn mix_length_mismatch_panics() {
         let mut a = vec![0.0; 3];
         mix_into(&mut a, &[0.0; 4]);
+    }
+
+    #[test]
+    fn render_into_is_bit_identical_to_render() {
+        let chips = manchester_encode(&[0x5A, 0xC3, 0xFF, 0x00]);
+        let packed = crate::packed::PackedChips::from_chips(&chips);
+        let mut buf = Vec::new();
+        // Awkward delays and non-integer samples-per-chip included.
+        for (sym, samp) in [(100_000.0, 1_000_000.0), (97_000.0, 1_000_000.0)] {
+            let c = WaveformConfig {
+                symbol_rate_hz: sym,
+                sample_rate_hz: samp,
+            };
+            for delay in [0.0, 5e-6, 3.7e-6, -2.3e-6, 1.0e-3, 1e-7] {
+                let reference = render(&chips, &c, 0.8, delay, 800);
+                render_into(&chips, &c, 0.8, delay, 800, &mut buf);
+                assert_eq!(buf, reference, "render_into sym={sym} delay={delay}");
+                render_packed_into(&packed, &c, 0.8, delay, 800, &mut buf);
+                assert_eq!(buf, reference, "render_packed_into sym={sym} delay={delay}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_slice_matches_scalar_slice() {
+        let chips = manchester_encode(&[0xF0, 0x0F, 0x37]);
+        let w = render(&chips, &cfg(), 1.0, 2e-6, chips.len() * 10 + 10);
+        let scalar = slice_chips(&w, &cfg(), 0, chips.len()).expect("long enough");
+        let mut packed = crate::packed::PackedChips::new();
+        assert!(slice_chips_packed_into(
+            &w,
+            &cfg(),
+            0,
+            chips.len(),
+            &mut packed
+        ));
+        assert_eq!(packed.to_chips(), scalar);
+        // Too-short stream: both sides refuse.
+        assert!(slice_chips(&w, &cfg(), 100, chips.len()).is_none());
+        assert!(!slice_chips_packed_into(
+            &w,
+            &cfg(),
+            100,
+            chips.len(),
+            &mut packed
+        ));
+    }
+
+    #[test]
+    fn correlate_template_matches_correlate_pattern() {
+        let pattern = manchester_encode(&[0xAA, 0x55]);
+        let w = render(&pattern, &cfg(), 0.3, 37e-6, 600);
+        let via_pattern = correlate_pattern(&w, &cfg(), &pattern, 0, 200).expect("found");
+        let template = render(
+            &pattern,
+            &cfg(),
+            1.0,
+            0.0,
+            (pattern.len() as f64 * cfg().samples_per_chip()).round() as usize,
+        );
+        let via_template =
+            correlate_template(&w, &template, template_energy(&template), 0, 200).expect("found");
+        assert_eq!(via_pattern, via_template);
     }
 }

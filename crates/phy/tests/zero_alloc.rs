@@ -1,0 +1,191 @@
+//! Steady-state allocation audit for the PHY fast path.
+//!
+//! A counting global allocator wraps the system allocator; each test warms
+//! the reusable workspaces (so every `Vec` reaches its high-water capacity)
+//! and then asserts that further encode/decode/render/slice cycles perform
+//! exactly zero heap allocations. Integration tests sit outside the
+//! library's `forbid(unsafe_code)`, which is what permits the allocator
+//! shim here.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vlc_phy::packed::{packed_encode, PackedChips};
+use vlc_phy::rs::RsCodec;
+use vlc_phy::waveform::{
+    correlate_template, render_packed_into, slice_chips_packed_into, template_energy,
+    WaveformConfig,
+};
+use vlc_phy::{Frame, FrameHeader};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn warmed_rs_codec_is_zero_alloc() {
+    let mut codec = RsCodec::paper();
+    let data: Vec<u8> = (0..200u16).map(|i| (i * 7 + 3) as u8).collect();
+    let mut block = Vec::new();
+
+    // Warm-up: establishes every scratch capacity inside the codec and the
+    // caller-owned output block.
+    codec.encode_into(&data, &mut block);
+    block[4] ^= 0x41;
+    block[90] ^= 0x7f;
+    codec.decode_in_place(&mut block).expect("correctable");
+
+    let n = allocations_during(|| {
+        for round in 0..32u8 {
+            block.clear();
+            codec.encode_into(&data, &mut block);
+            let pos = (round as usize * 5) % block.len();
+            block[pos] ^= round | 1;
+            codec.decode_in_place(&mut block).expect("correctable");
+        }
+    });
+    assert_eq!(n, 0, "warmed RsCodec made {n} heap allocations");
+}
+
+#[test]
+fn warmed_packed_manchester_is_zero_alloc() {
+    let data: Vec<u8> = (0..217u16).map(|i| (i * 31) as u8).collect();
+    let mut chips = PackedChips::new();
+    let mut decoded = Vec::new();
+
+    chips.encode_bytes(&data);
+    assert!(chips.decode_bytes_into(&mut decoded));
+    assert_eq!(decoded, data);
+
+    let n = allocations_during(|| {
+        for _ in 0..32 {
+            chips.clear();
+            chips.encode_bytes(&data);
+            assert!(chips.decode_bytes_into(&mut decoded));
+        }
+    });
+    assert_eq!(n, 0, "warmed packed Manchester made {n} heap allocations");
+}
+
+#[test]
+fn warmed_frame_render_slice_cycle_is_zero_alloc() {
+    // The full per-frame PHY cycle the e2e pipeline performs, minus the
+    // channel: frame bytes → packed chips → waveform → correlate → slice →
+    // chips → frame bytes. Everything below reuses caller-owned scratch.
+    let cfg = WaveformConfig::paper();
+    let mut codec = RsCodec::paper();
+    let header = FrameHeader {
+        dst: 2,
+        src: 1,
+        protocol: 0,
+    };
+    let payload: Vec<u8> = (0..120u16).map(|i| (i * 13 + 1) as u8).collect();
+
+    let mut wire = Vec::new();
+    let mut chips = PackedChips::new();
+    let mut samples = Vec::new();
+    let mut sliced = PackedChips::new();
+    let mut rx_bytes = Vec::new();
+    let mut coded_scratch = Vec::new();
+    let mut payload_out = Vec::new();
+
+    let preamble = packed_encode(&[0xAA, 0xAA, 0xAA, 0x55]);
+    let mut template = Vec::new();
+    render_packed_into(
+        &preamble,
+        &cfg,
+        1.0,
+        0.0,
+        (preamble.len() as f64 * cfg.samples_per_chip()).round() as usize,
+        &mut template,
+    );
+    let t_energy = template_energy(&template);
+
+    let mut cycle = |wire: &mut Vec<u8>,
+                     chips: &mut PackedChips,
+                     samples: &mut Vec<f64>,
+                     sliced: &mut PackedChips,
+                     rx_bytes: &mut Vec<u8>,
+                     coded_scratch: &mut Vec<u8>,
+                     payload_out: &mut Vec<u8>| {
+        wire.clear();
+        Frame::encode_parts_into(0b11, &header, &payload, &mut codec, wire);
+        chips.clear();
+        chips.extend_from(&preamble);
+        chips.encode_bytes(wire);
+        let n_samples = (chips.len() as f64 * cfg.samples_per_chip()).ceil() as usize + 64;
+        render_packed_into(chips, &cfg, 0.8, 0.0, n_samples, samples);
+        let (start, score) =
+            correlate_template(samples, &template, t_energy, 0, 32).expect("preamble found");
+        assert!(score > 0.9, "clean link must correlate");
+        assert!(slice_chips_packed_into(
+            samples,
+            &cfg,
+            start,
+            chips.len(),
+            sliced
+        ));
+        assert_eq!(sliced.diff_count(chips), 0);
+        assert!(sliced.decode_bytes_into(rx_bytes));
+        let skip = preamble.len() / 16;
+        let (mask, got_header, corrected) =
+            Frame::decode_parts_into(&rx_bytes[skip..], &mut codec, coded_scratch, payload_out)
+                .expect("clean frame decodes");
+        assert_eq!(mask, 0b11);
+        assert_eq!(got_header, header);
+        assert_eq!(corrected, 0);
+        assert_eq!(payload_out, &payload);
+    };
+
+    // Warm-up cycle establishes all capacities.
+    cycle(
+        &mut wire,
+        &mut chips,
+        &mut samples,
+        &mut sliced,
+        &mut rx_bytes,
+        &mut coded_scratch,
+        &mut payload_out,
+    );
+
+    let n = allocations_during(|| {
+        for _ in 0..8 {
+            cycle(
+                &mut wire,
+                &mut chips,
+                &mut samples,
+                &mut sliced,
+                &mut rx_bytes,
+                &mut coded_scratch,
+                &mut payload_out,
+            );
+        }
+    });
+    assert_eq!(n, 0, "warmed frame cycle made {n} heap allocations");
+}
