@@ -1,0 +1,85 @@
+//! `obs_check` — validate an observability NDJSON stream.
+//!
+//! ```text
+//! obs_check <stream.ndjson> [--expect-summary] [--expect-panic] [--lenient]
+//! ```
+//!
+//! Parses every line with the bundled `vlc_obs` parser (the same one the
+//! round-trip tests and the monitor run on) and exits nonzero on the
+//! first invalid line, naming it. `--expect-summary` additionally
+//! requires the stream to end with a `summary` record (a completed run);
+//! `--expect-panic` requires a `panic` record (a flight-recorder dump).
+//! `--lenient` tolerates a trailing unterminated line, for validating a
+//! stream still being written. CI runs this against both a streamed
+//! simulation and an injected-panic flight dump.
+
+use vlc_obs::{parse_stream, parse_stream_strict, ObsRecord};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let expect_summary = args.iter().any(|a| a == "--expect-summary");
+    let expect_panic = args.iter().any(|a| a == "--expect-panic");
+    let lenient = args.iter().any(|a| a == "--lenient");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!(
+            "usage: obs_check <stream.ndjson> [--expect-summary] [--expect-panic] [--lenient]"
+        );
+        std::process::exit(2);
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let parsed = if lenient {
+        parse_stream(&text)
+    } else {
+        parse_stream_strict(&text)
+    };
+    let records = match parsed {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path} is not a valid observability stream: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let count = |f: fn(&ObsRecord) -> bool| records.iter().filter(|r| f(r)).count();
+    let metas = count(|r| matches!(r, ObsRecord::Meta { .. }));
+    let ticks = count(|r| matches!(r, ObsRecord::Tick { .. }));
+    let windows = count(|r| matches!(r, ObsRecord::Window { .. }));
+    let alerts = count(|r| matches!(r, ObsRecord::Alert { .. }));
+    let events = count(|r| matches!(r, ObsRecord::Event(_)));
+    let jobs = count(|r| matches!(r, ObsRecord::Job { .. }));
+    let panics = count(|r| matches!(r, ObsRecord::Panic { .. }));
+    let summaries = count(|r| matches!(r, ObsRecord::Summary { .. }));
+    println!(
+        "{path}: {} records — {metas} meta, {ticks} ticks, {windows} windows, {alerts} alerts, {events} events, {jobs} jobs, {panics} panics, {summaries} summaries",
+        records.len()
+    );
+
+    if records.is_empty() {
+        eprintln!("error: {path} contains no records");
+        std::process::exit(1);
+    }
+    if metas != 1 {
+        eprintln!("error: expected exactly one meta record, found {metas}");
+        std::process::exit(1);
+    }
+    if !matches!(records.first(), Some(ObsRecord::Meta { .. })) {
+        eprintln!("error: the stream must start with its meta record");
+        std::process::exit(1);
+    }
+    if expect_summary && !matches!(records.last(), Some(ObsRecord::Summary { .. })) {
+        eprintln!("error: expected the stream to end with a summary record");
+        std::process::exit(1);
+    }
+    if expect_panic && panics == 0 {
+        eprintln!("error: expected a panic record (flight-recorder dump)");
+        std::process::exit(1);
+    }
+    println!("{path}: OK");
+}

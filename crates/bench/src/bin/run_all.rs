@@ -13,6 +13,11 @@
 //! tighten the medians. `--trace FILE` writes the same spans as a Chrome
 //! Trace Event file loadable in Perfetto. Neither flag changes the printed
 //! reports: repeats beyond the first only feed the timing statistics.
+//!
+//! All observability flags (including `--obs-stream FILE`, which records
+//! each completed experiment job as an NDJSON stream, and `--watch`, which
+//! renders the monitor dashboard after the run) are parsed by the shared
+//! `vlc_obs::ObsOptions` — the exact flag set `densevlc-cli` takes.
 
 use densevlc::experiments::*;
 use densevlc::{Simulation, System};
@@ -25,6 +30,10 @@ use vlc_bench::{budget_sweep, rate_sweep};
 use vlc_channel::nlos::NlosConfig;
 use vlc_channel::{lambertian_order, ChannelMatrix, NlosTxCache};
 use vlc_led::LedParams;
+use vlc_obs::{
+    monitor, parse_stream, FileSink, MemorySink, ObsOptions, ObsRecord, ObsSink, TelemetryFormat,
+    OBS_SCHEMA,
+};
 use vlc_par::{Jobs, Pool, JOBS_ENV};
 use vlc_phy::manchester::{manchester_decode, manchester_encode};
 use vlc_phy::packed::PackedChips;
@@ -44,6 +53,7 @@ run_all — regenerate the full DenseVLC evaluation (every table and figure)
 USAGE:
     run_all [--jobs N] [--telemetry FORMAT] [--trace FILE]
             [--bench-out FILE] [--bench-repeat N]
+            [--obs-stream FILE] [--watch]
 
 OPTIONS:
     --jobs N            Worker count for the experiment job set and the
@@ -64,6 +74,13 @@ OPTIONS:
     --bench-repeat N    Repeat the workload N times (default 1) to tighten
                         the BENCH medians. Reports print once; repeats
                         beyond the first only feed the statistics.
+    --obs-stream FILE   Write an NDJSON observability stream: one `job`
+                        record per completed experiment (in the fixed
+                        presentation order) plus a run summary, validated
+                        by `obs_check` and rendered by `densevlc-cli
+                        monitor`.
+    --watch             Render the monitor dashboard from the stream after
+                        the run (with or without --obs-stream).
     -h, --help          Print this help.
 ";
 
@@ -171,70 +188,34 @@ fn job_set() -> (Vec<Job>, usize) {
     (jobs, extensions_at)
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum TelemetryFormat {
-    Json,
-    Csv,
-    Summary,
-}
-
 struct Options {
     jobs: Jobs,
-    telemetry: Option<TelemetryFormat>,
-    trace: Option<String>,
-    bench_out: Option<String>,
-    bench_repeat: usize,
+    obs: ObsOptions,
 }
 
 fn parse_args() -> Result<Options, String> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "-h" || a == "--help") {
+        print!("{USAGE}");
+        std::process::exit(0);
+    }
+    // The shared observability parser consumes its flags; only run_all's
+    // own arguments may remain.
+    let obs = ObsOptions::parse(&mut argv)?;
     let mut jobs: Option<Jobs> = None;
-    let mut telemetry = None;
-    let mut trace = None;
-    let mut bench_out = None;
-    let mut bench_repeat = 1usize;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let mut rest = argv.into_iter();
+    while let Some(arg) = rest.next() {
         match arg.as_str() {
-            "-h" | "--help" => {
-                print!("{USAGE}");
-                std::process::exit(0);
-            }
             "--jobs" => {
-                let v = args.next().ok_or("--jobs needs a value (N or `max`)")?;
+                let v = rest.next().ok_or("--jobs needs a value (N or `max`)")?;
                 jobs = Some(Jobs::parse(&v).ok_or(format!("bad --jobs value `{v}`"))?);
-            }
-            "--telemetry" => {
-                let v = args.next().ok_or("--telemetry needs a format")?;
-                telemetry = Some(match v.as_str() {
-                    "json" => TelemetryFormat::Json,
-                    "csv" => TelemetryFormat::Csv,
-                    "summary" => TelemetryFormat::Summary,
-                    other => return Err(format!("bad --telemetry format `{other}`")),
-                });
-            }
-            "--trace" => {
-                trace = Some(args.next().ok_or("--trace needs a file path")?);
-            }
-            "--bench-out" => {
-                bench_out = Some(args.next().ok_or("--bench-out needs a file path")?);
-            }
-            "--bench-repeat" => {
-                let v = args.next().ok_or("--bench-repeat needs a count")?;
-                bench_repeat = v
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or(format!("bad --bench-repeat value `{v}`"))?;
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     Ok(Options {
         jobs: jobs.unwrap_or_else(Jobs::from_env),
-        telemetry,
-        trace,
-        bench_out,
-        bench_repeat,
+        obs,
     })
 }
 
@@ -452,13 +433,13 @@ fn main() {
     let (set, extensions_at) = job_set();
     let registry = Registry::new();
     let pool = Pool::new(opts.jobs).with_telemetry(&registry);
-    let timing = opts.trace.is_some() || opts.bench_out.is_some();
+    let timing = opts.obs.wants_tracer();
     let tracer = if timing {
         Tracer::new()
     } else {
         Tracer::noop()
     };
-    let repeats = if timing { opts.bench_repeat } else { 1 };
+    let repeats = if timing { opts.obs.bench_repeat } else { 1 };
 
     println!(
         "==== DenseVLC (CoNEXT '18) — full evaluation reproduction ({} jobs, {} workers) ====\n",
@@ -496,7 +477,15 @@ fn main() {
         println!("{report}");
     }
 
-    if let Some(format) = opts.telemetry {
+    // Surface span-ring health before snapshotting, so the summary
+    // exporter's rings line can report it (see export::summary).
+    if timing {
+        registry
+            .counter("trace.spans_dropped")
+            .add(tracer.snapshot().dropped);
+    }
+
+    if let Some(format) = opts.obs.telemetry {
         let snap = registry.snapshot();
         match format {
             TelemetryFormat::Json => println!("{}", snap.to_json()),
@@ -505,13 +494,71 @@ fn main() {
         }
     }
 
+    // Observability stream: jobs complete in pool order, but records are
+    // emitted in the fixed presentation order after collection, so the
+    // stream is byte-identical for any worker count (the same contract
+    // the printed reports honor).
+    if opts.obs.wants_stream() {
+        let snap = registry.snapshot();
+        let mut records = vec![ObsRecord::Meta {
+            schema: OBS_SCHEMA.into(),
+            run: "run_all".into(),
+            tick_s: 0.0,
+            n_rx: 0,
+            every: opts.obs.obs_every,
+        }];
+        for (i, (name, _)) in set.iter().enumerate() {
+            records.push(ObsRecord::Job {
+                index: i as u64,
+                name: (*name).to_string(),
+            });
+        }
+        records.push(ObsRecord::Summary {
+            ticks: 0,
+            mean_system_bps: 0.0,
+            alerts_fired: 0,
+            alerts_cleared: 0,
+            events_dropped: snap.events_dropped,
+            spans_dropped: if timing { tracer.snapshot().dropped } else { 0 },
+        });
+        let mem = MemorySink::new();
+        let mut sink: Box<dyn ObsSink> = match &opts.obs.obs_stream {
+            Some(path) => match FileSink::create(std::path::Path::new(path)) {
+                Ok(f) => Box::new(f),
+                Err(e) => {
+                    eprintln!("error: cannot create stream file {path}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => Box::new(mem.clone()),
+        };
+        for r in &records {
+            let _ = sink.write_line(&r.to_line());
+        }
+        let _ = sink.flush();
+        drop(sink);
+        if let Some(path) = &opts.obs.obs_stream {
+            eprintln!("wrote observability stream to {path}");
+        }
+        if opts.obs.watch {
+            let text = match &opts.obs.obs_stream {
+                Some(path) => std::fs::read_to_string(path).unwrap_or_default(),
+                None => mem.text(),
+            };
+            match parse_stream(&text) {
+                Ok(parsed) => print!("\n{}", monitor::render(&parsed)),
+                Err(e) => eprintln!("error: stream failed validation: {e}"),
+            }
+        }
+    }
+
     if timing {
         let snapshot = tracer.snapshot();
-        if let Some(path) = &opts.bench_out {
+        if let Some(path) = &opts.obs.bench_out {
             let report = BenchReport::from_snapshot(&snapshot, opts.jobs.get(), repeats);
             write_file(path, &report.to_json(), "BENCH.json");
         }
-        if let Some(path) = &opts.trace {
+        if let Some(path) = &opts.obs.trace {
             write_file(path, &snapshot.to_chrome_json(), "Chrome trace");
         }
     }

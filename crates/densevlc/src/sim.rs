@@ -13,6 +13,7 @@ use vlc_alloc::model::SystemModel;
 use vlc_channel::{ChannelMatrix, ChannelUpdater, CylinderBlocker};
 use vlc_geom::Pose;
 use vlc_mac::{BeamspotPlan, Controller, ControllerConfig, PlanCache};
+use vlc_obs::{ObsPlane, TickSample};
 use vlc_par::{Jobs, Pool};
 use vlc_telemetry::{MetricsSnapshot, Registry};
 use vlc_testbed::{AcroPositioner, Deployment};
@@ -216,7 +217,27 @@ impl Simulation {
     /// inside re-planning ticks. With a noop parent this is the
     /// instrumented path plus one branch per span site.
     pub fn run_traced(&mut self, duration_s: f64, telemetry: &Registry, parent: &Span) -> Timeline {
-        self.run_engine(duration_s, telemetry, parent, true)
+        self.run_engine(duration_s, telemetry, parent, true, None)
+    }
+
+    /// [`Self::run_traced`] streaming into an observability plane: the
+    /// plane's meta record is written up front, every tick feeds it a
+    /// [`TickSample`] (adding per-receiver SINR next to the throughput the
+    /// timeline already carries), and window snapshots / SLO evaluation /
+    /// event forwarding happen on the plane's flush cadence. The plane
+    /// only *reads* — the returned [`Timeline`] is byte-identical to
+    /// [`Self::run`]'s (enforced by `tests/obs_stream.rs`). The caller
+    /// finishes the stream with [`ObsPlane::finish`] after the run, once
+    /// it knows the tracer's span-ring drop count.
+    pub fn run_observed(
+        &mut self,
+        duration_s: f64,
+        telemetry: &Registry,
+        parent: &Span,
+        obs: &mut ObsPlane,
+    ) -> Timeline {
+        obs.begin(self.tick_s, self.deployment.receivers.len());
+        self.run_engine(duration_s, telemetry, parent, true, Some(obs))
     }
 
     /// [`Self::run`] on the cold engine: rebuild the full channel matrix
@@ -239,7 +260,7 @@ impl Simulation {
         telemetry: &Registry,
         parent: &Span,
     ) -> Timeline {
-        self.run_engine(duration_s, telemetry, parent, false)
+        self.run_engine(duration_s, telemetry, parent, false, None)
     }
 
     /// The tick loop behind both engines. `incremental` selects the warm
@@ -252,6 +273,7 @@ impl Simulation {
         telemetry: &Registry,
         parent: &Span,
         incremental: bool,
+        mut obs: Option<&mut ObsPlane>,
     ) -> Timeline {
         assert!(duration_s > 0.0, "duration must be positive");
         let run = parent.child("sim.run");
@@ -336,6 +358,22 @@ impl Simulation {
             let per_rx_bps = world.throughput(&plan.allocation);
             for (i, &bps) in per_rx_bps.iter().enumerate() {
                 telemetry.gauge(&format!("sim.rx{i}.bps")).set(bps);
+            }
+            if let Some(plane) = obs.as_deref_mut() {
+                // SINR is computed only on the observed path: the plane
+                // reads the world, never writes it, so the Timeline stays
+                // byte-identical to the unobserved run.
+                plane.observe_tick(
+                    &TickSample {
+                        tick: step as u64,
+                        t_s,
+                        per_rx_bps: per_rx_bps.clone(),
+                        per_rx_sinr: world.sinr(&plan.allocation),
+                        blocked_links: blocked_links as u64,
+                        replanned,
+                    },
+                    telemetry,
+                );
             }
             ticks.push(Tick {
                 t_s,

@@ -1,0 +1,364 @@
+//! Declarative SLO rules with hysteresis.
+//!
+//! A rule watches one windowed signal, compares one statistic of the
+//! window against a threshold at every flush, and transitions state only
+//! after a run of consecutive evaluations agrees: `for_windows` breaching
+//! evaluations to fire, `clear_windows` healthy ones to clear. Hysteresis
+//! keeps a signal oscillating around the threshold from flapping the
+//! alert on every window.
+//!
+//! Empty windows (`count == 0`) are skipped — no samples is "no data",
+//! not "zero", and counting it either way would fire false alerts at
+//! stream start before the first bucket fills.
+
+use crate::record::{AlertState, ObsRecord};
+use crate::window::WindowStats;
+
+/// Which side of the threshold is a breach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Breach when the statistic is strictly below the threshold.
+    Below,
+    /// Breach when the statistic is strictly above the threshold.
+    Above,
+}
+
+/// Which statistic of the window the rule compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stat {
+    /// Arithmetic mean.
+    Mean,
+    /// Exact median.
+    P50,
+    /// Exact 95th percentile.
+    P95,
+    /// Exact 99th percentile.
+    P99,
+    /// Smallest sample.
+    Min,
+    /// Largest sample.
+    Max,
+    /// Sum of samples.
+    Sum,
+    /// Sample count (e.g. for "any occurrence" rules on event-like signals).
+    Count,
+}
+
+impl Stat {
+    fn of(self, s: &WindowStats) -> f64 {
+        match self {
+            Stat::Mean => s.mean(),
+            Stat::P50 => s.p50,
+            Stat::P95 => s.p95,
+            Stat::P99 => s.p99,
+            Stat::Min => s.min,
+            Stat::Max => s.max,
+            Stat::Sum => s.sum,
+            Stat::Count => s.count as f64,
+        }
+    }
+}
+
+/// One service-level objective over a windowed signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Rule name, unique within an engine (e.g. `rx0.throughput`).
+    pub name: String,
+    /// Windowed signal the rule watches (e.g. `rx0.bps`).
+    pub signal: String,
+    /// Statistic of the window to compare.
+    pub stat: Stat,
+    /// Breach direction.
+    pub cmp: Cmp,
+    /// Threshold value.
+    pub threshold: f64,
+    /// Consecutive breaching evaluations required to fire (min 1).
+    pub for_windows: u32,
+    /// Consecutive healthy evaluations required to clear (min 1).
+    pub clear_windows: u32,
+}
+
+impl SloRule {
+    fn breaches(&self, stats: &WindowStats) -> bool {
+        let v = self.stat.of(stats);
+        match self.cmp {
+            Cmp::Below => v < self.threshold,
+            Cmp::Above => v > self.threshold,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct RuleState {
+    breach_run: u32,
+    ok_run: u32,
+    firing: bool,
+}
+
+/// Evaluates a rule set against window statistics, emitting state
+/// transitions as [`ObsRecord::Alert`]s.
+#[derive(Debug, Clone, Default)]
+pub struct SloEngine {
+    rules: Vec<SloRule>,
+    states: Vec<RuleState>,
+    fired: u64,
+    cleared: u64,
+}
+
+impl SloEngine {
+    /// An engine over the given rules.
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        let states = vec![RuleState::default(); rules.len()];
+        SloEngine {
+            rules,
+            states,
+            fired: 0,
+            cleared: 0,
+        }
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Rules currently in the firing state.
+    pub fn firing(&self) -> Vec<&SloRule> {
+        self.rules
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, s)| s.firing)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Total fire transitions so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Total clear transitions so far.
+    pub fn cleared(&self) -> u64 {
+        self.cleared
+    }
+
+    /// Evaluates every rule watching `signal` against `stats` (the window
+    /// ending at `tick`), returning alert records for any transitions.
+    /// Empty windows are skipped without advancing either streak.
+    pub fn evaluate(&mut self, tick: u64, signal: &str, stats: &WindowStats) -> Vec<ObsRecord> {
+        let mut out = Vec::new();
+        if stats.count == 0 {
+            return out;
+        }
+        for (rule, state) in self.rules.iter().zip(self.states.iter_mut()) {
+            if rule.signal != signal {
+                continue;
+            }
+            let value = rule.stat.of(stats);
+            if rule.breaches(stats) {
+                state.breach_run += 1;
+                state.ok_run = 0;
+                if !state.firing && state.breach_run >= rule.for_windows.max(1) {
+                    state.firing = true;
+                    self.fired += 1;
+                    out.push(ObsRecord::Alert {
+                        tick,
+                        rule: rule.name.clone(),
+                        signal: rule.signal.clone(),
+                        state: AlertState::Firing,
+                        value,
+                        threshold: rule.threshold,
+                    });
+                }
+            } else {
+                state.ok_run += 1;
+                state.breach_run = 0;
+                if state.firing && state.ok_run >= rule.clear_windows.max(1) {
+                    state.firing = false;
+                    self.cleared += 1;
+                    out.push(ObsRecord::Alert {
+                        tick,
+                        rule: rule.name.clone(),
+                        signal: rule.signal.clone(),
+                        state: AlertState::Cleared,
+                        value,
+                        threshold: rule.threshold,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The default DenseVLC rule catalogue (documented in
+/// `docs/OBSERVABILITY.md` §SLO rules):
+///
+/// * `rx{i}.throughput` — mean per-RX throughput below `target_bps` for
+///   2 consecutive windows (clears after 2 healthy windows). Catches a
+///   receiver starved by blockage or power-budget contention.
+/// * `alloc.solver_latency` — p99 solver wall-time above
+///   `solver_budget_s` (fires after 1, clears after 2). Wall-time is
+///   environment-dependent; this rule is for live monitoring, not
+///   deterministic replay.
+/// * `phy.uncorrectable` — any RS-uncorrectable block in a window
+///   (sum > 0, fire/clear after 1).
+pub fn densevlc_defaults(n_rx: usize, target_bps: f64, solver_budget_s: f64) -> Vec<SloRule> {
+    let mut rules = Vec::with_capacity(n_rx + 2);
+    for i in 0..n_rx {
+        rules.push(SloRule {
+            name: format!("rx{i}.throughput"),
+            signal: format!("rx{i}.bps"),
+            stat: Stat::Mean,
+            cmp: Cmp::Below,
+            threshold: target_bps,
+            for_windows: 2,
+            clear_windows: 2,
+        });
+    }
+    rules.push(SloRule {
+        name: "alloc.solver_latency".into(),
+        signal: "alloc.solve_s".into(),
+        stat: Stat::P99,
+        cmp: Cmp::Above,
+        threshold: solver_budget_s,
+        for_windows: 1,
+        clear_windows: 2,
+    });
+    rules.push(SloRule {
+        name: "phy.uncorrectable".into(),
+        signal: "phy.rs_uncorrectable".into(),
+        stat: Stat::Sum,
+        cmp: Cmp::Above,
+        threshold: 0.0,
+        for_windows: 1,
+        clear_windows: 1,
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(mean: f64) -> WindowStats {
+        WindowStats {
+            count: 4,
+            sum: mean * 4.0,
+            min: mean,
+            max: mean,
+            p50: mean,
+            p95: mean,
+            p99: mean,
+            dropped: 0,
+        }
+    }
+
+    fn rule() -> SloRule {
+        SloRule {
+            name: "rx0.throughput".into(),
+            signal: "rx0.bps".into(),
+            stat: Stat::Mean,
+            cmp: Cmp::Below,
+            threshold: 1e6,
+            for_windows: 2,
+            clear_windows: 2,
+        }
+    }
+
+    #[test]
+    fn fires_only_after_for_windows_consecutive_breaches() {
+        let mut e = SloEngine::new(vec![rule()]);
+        assert!(
+            e.evaluate(9, "rx0.bps", &stats(0.0)).is_empty(),
+            "1st breach"
+        );
+        let fired = e.evaluate(19, "rx0.bps", &stats(0.0));
+        assert_eq!(fired.len(), 1, "2nd consecutive breach fires");
+        assert!(matches!(
+            fired[0],
+            ObsRecord::Alert {
+                state: AlertState::Firing,
+                tick: 19,
+                ..
+            }
+        ));
+        assert_eq!(e.firing().len(), 1);
+        // Already firing: further breaches emit nothing new.
+        assert!(e.evaluate(29, "rx0.bps", &stats(0.0)).is_empty());
+        assert_eq!(e.fired(), 1);
+    }
+
+    #[test]
+    fn a_single_healthy_window_resets_the_breach_streak() {
+        let mut e = SloEngine::new(vec![rule()]);
+        e.evaluate(9, "rx0.bps", &stats(0.0));
+        e.evaluate(19, "rx0.bps", &stats(2e6)); // breach streak broken
+        assert!(e.evaluate(29, "rx0.bps", &stats(0.0)).is_empty());
+        assert_eq!(e.fired(), 0);
+    }
+
+    #[test]
+    fn clears_only_after_clear_windows_consecutive_healthy() {
+        let mut e = SloEngine::new(vec![rule()]);
+        e.evaluate(9, "rx0.bps", &stats(0.0));
+        e.evaluate(19, "rx0.bps", &stats(0.0)); // fires
+        assert!(e.evaluate(29, "rx0.bps", &stats(2e6)).is_empty(), "1st ok");
+        let cleared = e.evaluate(39, "rx0.bps", &stats(2e6));
+        assert_eq!(cleared.len(), 1);
+        assert!(matches!(
+            cleared[0],
+            ObsRecord::Alert {
+                state: AlertState::Cleared,
+                ..
+            }
+        ));
+        assert!(e.firing().is_empty());
+        assert_eq!((e.fired(), e.cleared()), (1, 1));
+    }
+
+    #[test]
+    fn empty_windows_advance_neither_streak() {
+        let mut e = SloEngine::new(vec![rule()]);
+        e.evaluate(9, "rx0.bps", &stats(0.0));
+        e.evaluate(19, "rx0.bps", &WindowStats::default()); // no data
+                                                            // The breach streak survived the gap.
+        assert_eq!(e.evaluate(29, "rx0.bps", &stats(0.0)).len(), 1);
+    }
+
+    #[test]
+    fn rules_only_see_their_own_signal() {
+        let mut e = SloEngine::new(vec![rule()]);
+        e.evaluate(9, "rx1.bps", &stats(0.0));
+        e.evaluate(19, "rx1.bps", &stats(0.0));
+        assert_eq!(e.fired(), 0);
+    }
+
+    #[test]
+    fn default_catalogue_covers_throughput_solver_and_fec() {
+        let rules = densevlc_defaults(2, 1e6, 0.05);
+        let names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "rx0.throughput",
+                "rx1.throughput",
+                "alloc.solver_latency",
+                "phy.uncorrectable"
+            ]
+        );
+        // An uncorrectable block fires immediately.
+        let mut e = SloEngine::new(rules);
+        let s = WindowStats {
+            count: 1,
+            sum: 1.0,
+            min: 1.0,
+            max: 1.0,
+            p50: 1.0,
+            p95: 1.0,
+            p99: 1.0,
+            dropped: 0,
+        };
+        assert_eq!(e.evaluate(9, "phy.rs_uncorrectable", &s).len(), 1);
+    }
+}

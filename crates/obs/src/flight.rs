@@ -1,0 +1,221 @@
+//! Crash-safe flight recorder.
+//!
+//! A bounded ring of the most recent stream lines (ticks, windows,
+//! events, alerts) that a panic hook dumps to a file when the process
+//! goes down mid-run — the post-mortem for crashes that never reach the
+//! normal end-of-run export. The dump itself is a valid NDJSON stream
+//! (parseable by [`crate::record::parse_stream`]) ending in a
+//! [`ObsRecord::Panic`] marker.
+//!
+//! The hook chains the previously installed hook, so backtraces and test
+//! harness output keep working. Arming is reference-counted through an
+//! atomic flag: [`FlightRecorder::arm`] returns a guard, and dropping the
+//! guard disarms the recorder without uninstalling the hook (repeatedly
+//! swapping hooks from concurrent tests is racy; a dormant chained hook
+//! is not).
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::record::ObsRecord;
+
+/// Default number of stream lines the ring retains.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+#[derive(Debug)]
+struct FlightInner {
+    capacity: usize,
+    lines: VecDeque<String>,
+    dropped: u64,
+    path: PathBuf,
+    /// Context lines (e.g. the stream's meta record) replayed at the top
+    /// of every dump, outside the bounded ring.
+    context: Vec<String>,
+}
+
+impl FlightInner {
+    /// Writes the post-mortem. Must never panic: it runs inside a panic
+    /// hook, where a second panic aborts the process.
+    fn dump(&self, message: &str) {
+        let mut out = String::new();
+        for l in &self.context {
+            out.push_str(l);
+            out.push('\n');
+        }
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        let marker = ObsRecord::Panic {
+            message: message.to_string(),
+            retained: self.lines.len() as u64,
+            dropped: self.dropped,
+        };
+        out.push_str(&marker.to_line());
+        out.push('\n');
+        let _ = std::fs::write(&self.path, out);
+    }
+}
+
+/// Bounded ring of recent stream lines plus the panic hook that dumps it.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<FlightInner>>,
+}
+
+/// Disarms the recorder's panic hook when dropped.
+pub struct FlightGuard {
+    armed: Arc<AtomicBool>,
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+}
+
+fn lock(inner: &Arc<Mutex<FlightInner>>) -> std::sync::MutexGuard<'_, FlightInner> {
+    // A panic while the lock is held poisons it; the dump must still run.
+    inner.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` lines, dumping to `path`.
+    pub fn new(path: &Path, capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(FlightInner {
+                capacity: capacity.max(1),
+                lines: VecDeque::new(),
+                dropped: 0,
+                path: path.to_path_buf(),
+                context: Vec::new(),
+            })),
+        }
+    }
+
+    /// Adds a context line replayed at the top of every dump (the stream
+    /// meta record, typically). Not subject to the ring capacity.
+    pub fn push_context(&self, line: &str) {
+        lock(&self.inner).context.push(line.to_string());
+    }
+
+    /// Records one stream line, evicting the oldest beyond capacity.
+    pub fn record_line(&self, line: &str) {
+        let mut inner = lock(&self.inner);
+        if inner.lines.len() >= inner.capacity {
+            inner.lines.pop_front();
+            inner.dropped += 1;
+        }
+        inner.lines.push_back(line.to_string());
+    }
+
+    /// Lines currently retained (tests / monitor).
+    pub fn retained(&self) -> usize {
+        lock(&self.inner).lines.len()
+    }
+
+    /// Installs a panic hook that dumps the ring, chaining the previous
+    /// hook. The returned guard disarms (but does not uninstall) the hook
+    /// on drop; dumping also happens at most once per arm.
+    pub fn arm(&self) -> FlightGuard {
+        let armed = Arc::new(AtomicBool::new(true));
+        let hook_armed = Arc::clone(&armed);
+        let inner = Arc::clone(&self.inner);
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if hook_armed.swap(false, Ordering::SeqCst) {
+                let message = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic (non-string payload)".to_string());
+                lock(&inner).dump(&message);
+            }
+            previous(info);
+        }));
+        FlightGuard { armed }
+    }
+
+    /// Writes the dump explicitly (without a panic) — used by `monitor`
+    /// to snapshot a live ring, and by tests.
+    pub fn dump_now(&self, reason: &str) {
+        lock(&self.inner).dump(reason);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{parse_stream_strict, ObsRecord, OBS_SCHEMA};
+
+    fn tick_line(tick: u64) -> String {
+        ObsRecord::Tick {
+            tick,
+            t_s: tick as f64 * 0.1,
+            per_rx_bps: vec![1.0],
+            per_rx_sinr: vec![2.0],
+            blocked_links: 0,
+            replanned: false,
+        }
+        .to_line()
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_capacity_lines() {
+        let dir = std::env::temp_dir().join("vlc_obs_flight_ring");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.ndjson");
+        let rec = FlightRecorder::new(&path, 3);
+        for t in 0..10 {
+            rec.record_line(&tick_line(t));
+        }
+        assert_eq!(rec.retained(), 3);
+        rec.dump_now("test dump");
+        let records = parse_stream_strict(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(records.len(), 4); // 3 ticks + panic marker
+        assert!(matches!(records[0], ObsRecord::Tick { tick: 7, .. }));
+        match &records[3] {
+            ObsRecord::Panic {
+                message,
+                retained,
+                dropped,
+            } => {
+                assert_eq!(message, "test dump");
+                assert_eq!((*retained, *dropped), (3, 7));
+            }
+            other => panic!("expected panic marker, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn context_lines_survive_ring_eviction() {
+        let dir = std::env::temp_dir().join("vlc_obs_flight_ctx");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.ndjson");
+        let rec = FlightRecorder::new(&path, 2);
+        let meta = ObsRecord::Meta {
+            schema: OBS_SCHEMA.into(),
+            run: "test".into(),
+            tick_s: 0.1,
+            n_rx: 1,
+            every: 1,
+        };
+        rec.push_context(&meta.to_line());
+        for t in 0..50 {
+            rec.record_line(&tick_line(t));
+        }
+        rec.dump_now("ctx");
+        let records = parse_stream_strict(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(records[0], meta, "meta must lead every dump");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // The armed panic hook itself is exercised end-to-end in
+    // crates/densevlc/tests/obs_stream.rs (catch_unwind) and in CI via
+    // DENSEVLC_INJECT_PANIC; installing hooks from unit tests that run
+    // concurrently with other panicking tests would be racy here.
+}

@@ -1,0 +1,270 @@
+//! The one exporter-flag parser every binary shares.
+//!
+//! Before this module, `--telemetry`, `--telemetry-out`, `--trace`, and
+//! `--bench-out` were parsed independently by `densevlc-cli` and
+//! `run_all`, with subtly different error behavior. [`ObsOptions::parse`]
+//! extracts the full observability flag set from anywhere in an argument
+//! list (removing the tokens it consumes, like the CLI's historical
+//! helpers), so every subcommand accepts the same flags with the same
+//! errors:
+//!
+//! ```text
+//! --telemetry <json|csv|summary>   record metrics, render at exit
+//! --telemetry-out <file>           write that rendering to a file
+//! --trace <file>                   Chrome Trace JSON of causal spans
+//! --bench-out <file>               BENCH.json timing statistics
+//! --bench-repeat <n>               repeats feeding the BENCH medians
+//! --obs-stream <file>              live NDJSON observability stream
+//! --obs-every <n>                  stream flush cadence in ticks
+//! --flight-recorder <file>         crash dump of the last ticks
+//! --flight-last <k>                flight ring capacity in lines
+//! --watch                          render the monitor view from the stream
+//! ```
+//!
+//! Errors are returned, not printed: callers decide between `exit(2)`
+//! (binaries) and assertions (tests).
+
+use crate::flight::DEFAULT_FLIGHT_CAPACITY;
+
+/// Telemetry rendering requested on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryFormat {
+    /// Machine-readable snapshot JSON.
+    Json,
+    /// Per-instrument CSV.
+    Csv,
+    /// Human-readable summary table.
+    Summary,
+}
+
+impl TelemetryFormat {
+    /// Parses a `--telemetry` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "json" => Some(TelemetryFormat::Json),
+            "csv" => Some(TelemetryFormat::Csv),
+            "summary" => Some(TelemetryFormat::Summary),
+            _ => None,
+        }
+    }
+}
+
+/// The unified observability flag set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsOptions {
+    /// `--telemetry`: snapshot rendering appended at exit.
+    pub telemetry: Option<TelemetryFormat>,
+    /// `--telemetry-out`: write the rendering here instead of stdout.
+    pub telemetry_out: Option<String>,
+    /// `--trace`: Chrome Trace JSON output path.
+    pub trace: Option<String>,
+    /// `--bench-out`: BENCH.json output path.
+    pub bench_out: Option<String>,
+    /// `--bench-repeat`: workload repeats for the BENCH medians (≥ 1).
+    pub bench_repeat: usize,
+    /// `--obs-stream`: NDJSON stream output path.
+    pub obs_stream: Option<String>,
+    /// `--obs-every`: stream flush cadence in ticks (≥ 1).
+    pub obs_every: u64,
+    /// `--flight-recorder`: crash-dump output path.
+    pub flight_recorder: Option<String>,
+    /// `--flight-last`: flight ring capacity in stream lines (≥ 1).
+    pub flight_last: usize,
+    /// `--watch`: render the monitor view from the stream.
+    pub watch: bool,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            telemetry: None,
+            telemetry_out: None,
+            trace: None,
+            bench_out: None,
+            bench_repeat: 1,
+            obs_stream: None,
+            obs_every: 10,
+            flight_recorder: None,
+            flight_last: DEFAULT_FLIGHT_CAPACITY,
+            watch: false,
+        }
+    }
+}
+
+/// Removes `<flag> <value>` from anywhere in `args`; `Err` when the flag
+/// is present without a value.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let Some(v) = args.get(i + 1).cloned() else {
+        return Err(format!("{flag} needs a value"));
+    };
+    if v.starts_with("--") {
+        return Err(format!("{flag} needs a value (got flag `{v}`)"));
+    }
+    args.drain(i..=i + 1);
+    Ok(Some(v))
+}
+
+/// Removes a bare `<flag>` from anywhere in `args`.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+impl ObsOptions {
+    /// Extracts every observability flag from `args`, removing the tokens
+    /// it consumes. Unrelated arguments are left in place for the
+    /// caller's own parser.
+    pub fn parse(args: &mut Vec<String>) -> Result<ObsOptions, String> {
+        let mut o = ObsOptions::default();
+        if let Some(v) = take_value(args, "--telemetry")? {
+            o.telemetry = Some(TelemetryFormat::parse(&v).ok_or(format!(
+                "--telemetry expects json, csv or summary (got `{v}`)"
+            ))?);
+        }
+        o.telemetry_out = take_value(args, "--telemetry-out")?;
+        o.trace = take_value(args, "--trace")?;
+        o.bench_out = take_value(args, "--bench-out")?;
+        if let Some(v) = take_value(args, "--bench-repeat")? {
+            o.bench_repeat = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(format!("bad --bench-repeat value `{v}`"))?;
+        }
+        o.obs_stream = take_value(args, "--obs-stream")?;
+        if let Some(v) = take_value(args, "--obs-every")? {
+            o.obs_every = v
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(format!("bad --obs-every value `{v}`"))?;
+        }
+        o.flight_recorder = take_value(args, "--flight-recorder")?;
+        if let Some(v) = take_value(args, "--flight-last")? {
+            o.flight_last = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(format!("bad --flight-last value `{v}`"))?;
+        }
+        o.watch = take_switch(args, "--watch");
+        Ok(o)
+    }
+
+    /// Whether the run needs a live (non-noop) telemetry registry.
+    pub fn wants_registry(&self) -> bool {
+        self.telemetry.is_some()
+            || self.telemetry_out.is_some()
+            || self.obs_stream.is_some()
+            || self.flight_recorder.is_some()
+            || self.watch
+    }
+
+    /// Whether the run needs a live tracer.
+    pub fn wants_tracer(&self) -> bool {
+        self.trace.is_some() || self.bench_out.is_some()
+    }
+
+    /// Whether the run streams observability records at all.
+    pub fn wants_stream(&self) -> bool {
+        self.obs_stream.is_some() || self.flight_recorder.is_some() || self.watch
+    }
+}
+
+/// The tick index at which to inject a panic, from the
+/// `DENSEVLC_INJECT_PANIC` environment variable (CI's flight-recorder
+/// check). Unset or unparseable means no injection.
+pub fn inject_panic_from_env() -> Option<u64> {
+    std::env::var("DENSEVLC_INJECT_PANIC")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_full_flag_set_from_anywhere() {
+        let mut args = argv(&[
+            "sim",
+            "--obs-stream",
+            "out.ndjson",
+            "--scenario",
+            "2",
+            "--telemetry",
+            "summary",
+            "--flight-recorder",
+            "flight.ndjson",
+            "--obs-every",
+            "5",
+            "--flight-last",
+            "64",
+            "--watch",
+            "--trace",
+            "trace.json",
+        ]);
+        let o = ObsOptions::parse(&mut args).unwrap();
+        assert_eq!(o.telemetry, Some(TelemetryFormat::Summary));
+        assert_eq!(o.obs_stream.as_deref(), Some("out.ndjson"));
+        assert_eq!(o.flight_recorder.as_deref(), Some("flight.ndjson"));
+        assert_eq!(o.obs_every, 5);
+        assert_eq!(o.flight_last, 64);
+        assert!(o.watch);
+        assert_eq!(o.trace.as_deref(), Some("trace.json"));
+        // Only the unrelated arguments remain, in order.
+        assert_eq!(args, argv(&["sim", "--scenario", "2"]));
+        assert!(o.wants_registry());
+        assert!(o.wants_tracer());
+        assert!(o.wants_stream());
+    }
+
+    #[test]
+    fn defaults_match_the_historical_flags() {
+        let mut args = argv(&["adapt"]);
+        let o = ObsOptions::parse(&mut args).unwrap();
+        assert_eq!(o, ObsOptions::default());
+        assert_eq!(o.bench_repeat, 1);
+        assert_eq!(o.obs_every, 10);
+        assert!(!o.wants_registry());
+        assert!(!o.wants_tracer());
+        assert!(!o.wants_stream());
+    }
+
+    #[test]
+    fn missing_or_bad_values_are_errors_not_exits() {
+        for bad in [
+            vec!["--telemetry"],
+            vec!["--telemetry", "yaml"],
+            vec!["--obs-stream"],
+            vec!["--obs-every", "0"],
+            vec!["--obs-every", "soon"],
+            vec!["--bench-repeat", "0"],
+            vec!["--flight-last", "-1"],
+            vec!["--obs-stream", "--watch"],
+        ] {
+            let mut args = argv(&bad);
+            assert!(ObsOptions::parse(&mut args).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn telemetry_out_alone_still_enables_the_registry() {
+        let mut args = argv(&["--telemetry-out", "snap.json"]);
+        let o = ObsOptions::parse(&mut args).unwrap();
+        assert_eq!(o.telemetry, None);
+        assert!(o.wants_registry());
+        assert!(!o.wants_stream());
+    }
+}

@@ -1,0 +1,129 @@
+//! Where the NDJSON stream goes.
+//!
+//! [`ObsSink`] is deliberately line-oriented — the plane hands it complete
+//! serialized records, never partial writes — so every implementation
+//! trivially preserves the one-record-per-line invariant the parser
+//! depends on.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Destination for stream lines.
+pub trait ObsSink {
+    /// Appends one record line (without its trailing newline).
+    fn write_line(&mut self, line: &str) -> io::Result<()>;
+    /// Pushes buffered lines to the underlying medium.
+    fn flush(&mut self) -> io::Result<()>;
+}
+
+/// Buffered append-to-file sink.
+pub struct FileSink {
+    w: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the stream file.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(FileSink {
+            w: BufWriter::new(File::create(path)?),
+        })
+    }
+}
+
+impl ObsSink for FileSink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.w.write_all(line.as_bytes())?;
+        self.w.write_all(b"\n")
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// In-memory sink for tests; cloneable handle reads lines back out.
+#[derive(Default, Clone)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lines written so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// The stream as one newline-terminated string.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for l in self.lines() {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ObsSink for MemorySink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.lines
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(line.to_string());
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards everything; the disabled-observability stand-in.
+#[derive(Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl ObsSink for NoopSink {
+    fn write_line(&mut self, _line: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_accumulates_lines_across_clones() {
+        let sink = MemorySink::new();
+        let mut writer = sink.clone();
+        writer.write_line("{\"a\":1}").unwrap();
+        writer.write_line("{\"b\":2}").unwrap();
+        assert_eq!(sink.lines().len(), 2);
+        assert_eq!(sink.text(), "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn file_sink_writes_one_record_per_line() {
+        let dir = std::env::temp_dir().join("vlc_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.ndjson");
+        let mut sink = FileSink::create(&path).unwrap();
+        sink.write_line("{\"x\":1}").unwrap();
+        sink.flush().unwrap();
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"x\":1}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

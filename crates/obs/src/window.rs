@@ -1,0 +1,265 @@
+//! Rolling-window aggregation over simulation ticks.
+//!
+//! A [`RollingWindow`] is a fixed ring of buckets, each covering
+//! `bucket_ticks` consecutive ticks; the window spans the last
+//! `buckets × bucket_ticks` ticks. Rotation is a pure function of the tick
+//! number — bucket `tick / bucket_ticks` lands in slot `index % buckets`,
+//! evicting whatever older epoch occupied the slot — so the aggregation is
+//! deterministic for any worker count, matching the `vlc-par` span
+//! contract: the same tick stream produces bit-identical window statistics
+//! regardless of scheduling.
+//!
+//! Buckets store raw samples (one per tick for the simulation's signals),
+//! so [`RollingWindow::stats`] reports **exact** order statistics — unlike
+//! the registry's log-bucketed histograms, which trade ≤ 19 % quantile
+//! error for unbounded horizons. A per-bucket sample cap bounds memory for
+//! pathological feeds; overflow counts into [`WindowStats::dropped`].
+
+/// Shape of a rolling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Ticks per bucket (min 1).
+    pub bucket_ticks: u64,
+    /// Buckets in the ring (min 1); the window spans
+    /// `buckets × bucket_ticks` ticks.
+    pub buckets: usize,
+    /// Samples retained per bucket before overflow drops (min 1).
+    pub max_samples_per_bucket: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            bucket_ticks: 10,
+            buckets: 8,
+            max_samples_per_bucket: 4096,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Total ticks the window spans.
+    pub fn window_ticks(&self) -> u64 {
+        self.bucket_ticks.max(1) * self.buckets.max(1) as u64
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    /// Which bucket interval (`tick / bucket_ticks`) this slot holds;
+    /// `None` until first written.
+    epoch: Option<u64>,
+    samples: Vec<f64>,
+    dropped: u64,
+}
+
+/// Exact statistics over the samples currently inside the window.
+///
+/// Plain data (`PartialEq`) so snapshots can be asserted in tests and
+/// round-tripped through the NDJSON stream. An empty window is all zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowStats {
+    /// Samples inside the window.
+    pub count: u64,
+    /// Sum of those samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Exact median (rank `ceil(0.50·count)`).
+    pub p50: f64,
+    /// Exact 95th percentile (rank `ceil(0.95·count)`).
+    pub p95: f64,
+    /// Exact 99th percentile (rank `ceil(0.99·count)`).
+    pub p99: f64,
+    /// Samples lost to the per-bucket cap while inside the window.
+    pub dropped: u64,
+}
+
+impl WindowStats {
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A fixed ring of tick buckets; see the module docs.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    cfg: WindowConfig,
+    ring: Vec<Bucket>,
+}
+
+impl RollingWindow {
+    /// A window with the given shape (zero fields clamp to 1).
+    pub fn new(cfg: WindowConfig) -> Self {
+        let cfg = WindowConfig {
+            bucket_ticks: cfg.bucket_ticks.max(1),
+            buckets: cfg.buckets.max(1),
+            max_samples_per_bucket: cfg.max_samples_per_bucket.max(1),
+        };
+        RollingWindow {
+            ring: vec![Bucket::default(); cfg.buckets],
+            cfg,
+        }
+    }
+
+    /// The window shape in effect (after clamping).
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Records one sample observed at `tick`. NaN is ignored (mirroring
+    /// the registry histograms). Ticks may only move forward; a sample
+    /// from an already-evicted epoch would silently corrupt the ring, so
+    /// out-of-order ticks older than the slot's current epoch are dropped.
+    pub fn record(&mut self, tick: u64, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let epoch = tick / self.cfg.bucket_ticks;
+        let slot = (epoch % self.cfg.buckets as u64) as usize;
+        let bucket = &mut self.ring[slot];
+        match bucket.epoch {
+            Some(e) if e == epoch => {}
+            Some(e) if e > epoch => return, // stale tick: already rotated past
+            _ => {
+                bucket.epoch = Some(epoch);
+                bucket.samples.clear();
+                bucket.dropped = 0;
+            }
+        }
+        if bucket.samples.len() >= self.cfg.max_samples_per_bucket {
+            bucket.dropped += 1;
+        } else {
+            bucket.samples.push(v);
+        }
+    }
+
+    /// Exact statistics over every bucket still inside the window ending
+    /// at `tick` (inclusive): epochs in
+    /// `(tick/bucket_ticks − buckets, tick/bucket_ticks]`.
+    pub fn stats(&self, tick: u64) -> WindowStats {
+        let now = tick / self.cfg.bucket_ticks;
+        let oldest = (now + 1).saturating_sub(self.cfg.buckets as u64);
+        let mut samples: Vec<f64> = Vec::new();
+        let mut dropped = 0u64;
+        for bucket in &self.ring {
+            if let Some(e) = bucket.epoch {
+                if e >= oldest && e <= now {
+                    samples.extend_from_slice(&bucket.samples);
+                    dropped += bucket.dropped;
+                }
+            }
+        }
+        if samples.is_empty() {
+            return WindowStats {
+                dropped,
+                ..WindowStats::default()
+            };
+        }
+        samples.sort_by(f64::total_cmp);
+        let count = samples.len() as u64;
+        let rank = |q: f64| -> f64 {
+            // 1-based ceiling rank, matching the registry's quantile
+            // convention — but exact, not bucket-resolved.
+            let r = ((q * count as f64).ceil() as u64).clamp(1, count);
+            samples[(r - 1) as usize]
+        };
+        WindowStats {
+            count,
+            sum: samples.iter().sum(),
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+            dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RollingWindow {
+        RollingWindow::new(WindowConfig {
+            bucket_ticks: 2,
+            buckets: 3,
+            max_samples_per_bucket: 4096,
+        })
+    }
+
+    #[test]
+    fn samples_inside_the_window_aggregate_exactly() {
+        let mut w = small();
+        for t in 0..6 {
+            w.record(t, t as f64);
+        }
+        let s = w.stats(5);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 15.0);
+        assert_eq!((s.min, s.max), (0.0, 5.0));
+        assert_eq!(s.p50, 2.0); // rank ceil(0.5·6)=3 → sorted[2]
+        assert_eq!(s.p95, 5.0);
+        assert_eq!(s.p99, 5.0);
+    }
+
+    #[test]
+    fn rotation_evicts_whole_buckets() {
+        let mut w = small(); // window = 6 ticks
+        w.record(0, 100.0);
+        w.record(1, 100.0);
+        for t in 2..8 {
+            w.record(t, 1.0);
+        }
+        // Tick 7 is epoch 3; epoch 0 (ticks 0–1) rotated out of the ring.
+        let s = w.stats(7);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, 1.0, "old epoch leaked into the window");
+    }
+
+    #[test]
+    fn stats_window_excludes_stale_epochs_even_without_overwrite() {
+        let mut w = small();
+        w.record(0, 42.0);
+        // Jump far ahead without writing: the slot still holds epoch 0,
+        // but the window ending at tick 100 must not see it.
+        assert_eq!(w.stats(100).count, 0);
+    }
+
+    #[test]
+    fn per_bucket_cap_counts_drops() {
+        let mut w = RollingWindow::new(WindowConfig {
+            bucket_ticks: 10,
+            buckets: 2,
+            max_samples_per_bucket: 3,
+        });
+        for _ in 0..5 {
+            w.record(0, 1.0);
+        }
+        let s = w.stats(0);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.dropped, 2);
+    }
+
+    #[test]
+    fn nan_is_ignored_and_stale_ticks_are_dropped() {
+        let mut w = small();
+        w.record(0, f64::NAN);
+        assert_eq!(w.stats(0).count, 0);
+        // Fill slot 0 with epoch 3 (ticks 6–7), then feed a tick-0 sample:
+        // its slot now belongs to a newer epoch, so it must be refused.
+        w.record(6, 1.0);
+        w.record(0, 99.0);
+        let s = w.stats(7);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 1.0);
+    }
+}

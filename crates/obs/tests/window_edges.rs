@@ -1,0 +1,116 @@
+//! Edge cases of the rolling-window quantiles: empty windows, single
+//! samples, rotation at exact bucket boundaries, and the ceiling-rank
+//! convention at exact rank boundaries.
+
+use vlc_obs::{RollingWindow, WindowConfig, WindowStats};
+
+fn window(bucket_ticks: u64, buckets: usize) -> RollingWindow {
+    RollingWindow::new(WindowConfig {
+        bucket_ticks,
+        buckets,
+        max_samples_per_bucket: 4096,
+    })
+}
+
+#[test]
+fn empty_window_is_all_zeros() {
+    let w = window(10, 8);
+    assert_eq!(w.stats(0), WindowStats::default());
+    assert_eq!(w.stats(12345), WindowStats::default());
+    assert_eq!(w.stats(0).mean(), 0.0);
+}
+
+#[test]
+fn single_sample_is_every_statistic() {
+    let mut w = window(10, 8);
+    w.record(3, 42.5);
+    let s = w.stats(3);
+    assert_eq!(s.count, 1);
+    assert_eq!(
+        (s.min, s.max, s.p50, s.p95, s.p99, s.sum),
+        (42.5, 42.5, 42.5, 42.5, 42.5, 42.5)
+    );
+    assert_eq!(s.mean(), 42.5);
+}
+
+#[test]
+fn bucket_rotation_at_the_exact_boundary_tick() {
+    // bucket_ticks = 10: ticks 0–9 are epoch 0, tick 10 opens epoch 1.
+    let mut w = window(10, 2);
+    w.record(9, 1.0); // last tick of epoch 0
+    w.record(10, 2.0); // first tick of epoch 1
+                       // Window ending at tick 10 spans epochs {0, 1}: both samples.
+    assert_eq!(w.stats(10).count, 2);
+    // Window ending at tick 19 still spans epochs {0, 1}.
+    assert_eq!(w.stats(19).count, 2);
+    // Tick 20 opens epoch 2: epoch 0 falls off the 2-bucket window even
+    // though its slot has not been overwritten yet.
+    let s = w.stats(20);
+    assert_eq!(s.count, 1);
+    assert_eq!(s.min, 2.0);
+    // Writing at tick 20 reclaims epoch 0's slot (2 % 2 == 0).
+    w.record(20, 3.0);
+    let s = w.stats(20);
+    assert_eq!(s.count, 2);
+    assert_eq!((s.min, s.max), (2.0, 3.0));
+}
+
+#[test]
+fn ceiling_rank_at_exact_quantile_boundaries() {
+    // 20 samples 1..=20: rank(q) = ceil(q·20), 1-based — the same
+    // convention as the registry histograms, but exact.
+    let mut w = window(100, 1);
+    for i in 1..=20 {
+        w.record(i as u64, i as f64);
+    }
+    let s = w.stats(20);
+    assert_eq!(s.count, 20);
+    assert_eq!(s.p50, 10.0, "ceil(0.50*20) = rank 10");
+    assert_eq!(s.p95, 19.0, "ceil(0.95*20) = rank 19");
+    assert_eq!(s.p99, 20.0, "ceil(0.99*20) = rank 20");
+}
+
+#[test]
+fn window_spans_exactly_buckets_times_bucket_ticks() {
+    let cfg = WindowConfig {
+        bucket_ticks: 4,
+        buckets: 3,
+        max_samples_per_bucket: 4096,
+    };
+    assert_eq!(cfg.window_ticks(), 12);
+    let mut w = RollingWindow::new(cfg);
+    for t in 0..24 {
+        w.record(t, t as f64);
+    }
+    // Window ending at tick 23 covers epochs {3, 4, 5} = ticks 12–23.
+    let s = w.stats(23);
+    assert_eq!(s.count, 12);
+    assert_eq!((s.min, s.max), (12.0, 23.0));
+}
+
+#[test]
+fn identical_feeds_produce_bit_identical_stats() {
+    // The aggregation is a pure function of (tick, value) pairs — no
+    // wall-clock, no iteration-order dependence — so two identically-fed
+    // windows agree bit for bit. This is the property that makes window
+    // records safe to stream from a `vlc-par`-parallelized run.
+    let feed: Vec<(u64, f64)> = (0..200)
+        .map(|t| (t, (t as f64 * 0.37).sin() * 1e6))
+        .collect();
+    let mut a = window(10, 4);
+    let mut b = window(10, 4);
+    for &(t, v) in &feed {
+        a.record(t, v);
+    }
+    for &(t, v) in &feed {
+        b.record(t, v);
+    }
+    for probe in [0, 39, 40, 199] {
+        let (sa, sb) = (a.stats(probe), b.stats(probe));
+        assert_eq!(sa.count, sb.count);
+        assert_eq!(sa.sum.to_bits(), sb.sum.to_bits());
+        assert_eq!(sa.p50.to_bits(), sb.p50.to_bits());
+        assert_eq!(sa.p95.to_bits(), sb.p95.to_bits());
+        assert_eq!(sa.p99.to_bits(), sb.p99.to_bits());
+    }
+}

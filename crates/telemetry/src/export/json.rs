@@ -18,40 +18,15 @@
 //! Floats are written with Rust's shortest round-trip formatting, so
 //! `from_json(to_json(s)) == s` exactly. Non-finite floats (which no
 //! instrument produces) serialize as `null` and parse back as 0.
+//!
+//! The value model and parser live in [`super::value`], shared with the
+//! `vlc-obs` streaming exporter.
 
+use super::value::{field, parse_json, push_f64, push_json_string, JsonValue};
 use super::ParseError;
 use crate::event::Event;
 use crate::histogram::HistogramSnapshot;
 use crate::snapshot::MetricsSnapshot;
-
-// ---------------------------------------------------------------- writer --
-
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn push_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        // `{:?}` is Rust's shortest representation that round-trips.
-        out.push_str(&format!("{v:?}"));
-    } else {
-        out.push_str("null");
-    }
-}
 
 /// Serializes a snapshot; see the module docs for the document shape.
 pub fn to_json(snap: &MetricsSnapshot) -> String {
@@ -102,22 +77,7 @@ pub fn to_json(snap: &MetricsSnapshot) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str("{\"t_s\":");
-        push_f64(&mut out, e.t_s);
-        out.push_str(",\"target\":");
-        push_json_string(&mut out, &e.target);
-        out.push_str(",\"kind\":");
-        push_json_string(&mut out, &e.kind);
-        out.push_str(",\"fields\":{");
-        for (j, (k, v)) in e.fields.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            push_json_string(&mut out, k);
-            out.push(':');
-            push_json_string(&mut out, v);
-        }
-        out.push_str("}}");
+        out.push_str(&event_to_json(e));
     }
     out.push_str("],\"events_dropped\":");
     out.push_str(&snap.events_dropped.to_string());
@@ -125,319 +85,96 @@ pub fn to_json(snap: &MetricsSnapshot) -> String {
     out
 }
 
-// ---------------------------------------------------------------- parser --
-
-/// Minimal JSON value model; numbers keep their source text so integers
-/// larger than 2^53 survive (counters are u64).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
+/// Serializes one event as a standalone JSON object
+/// (`{"t_s":…,"target":…,"kind":…,"fields":{…}}`) — the element shape of
+/// the snapshot's `events` array, also embedded in `vlc-obs` stream lines.
+pub fn event_to_json(e: &Event) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"t_s\":");
+    push_f64(&mut out, e.t_s);
+    out.push_str(",\"target\":");
+    push_json_string(&mut out, &e.target);
+    out.push_str(",\"kind\":");
+    push_json_string(&mut out, &e.kind);
+    out.push_str(",\"fields\":{");
+    for (j, (k, v)) in e.fields.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, k);
+        out.push(':');
+        push_json_string(&mut out, v);
+    }
+    out.push_str("}}");
+    out
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError::new(self.pos, message)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected '{}'", b as char)))
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Json, ParseError> {
-        match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
-            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
-            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
-            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
-        let mut entries = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(entries));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            entries.push((key, value));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(entries));
-                }
-                _ => return Err(self.err("expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let Some(&b) = self.bytes.get(self.pos) else {
-                return Err(self.err("unterminated string"));
-            };
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(&esc) = self.bytes.get(self.pos) else {
-                        return Err(self.err("unterminated escape"));
-                    };
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{0008}'),
-                        b'f' => out.push('\u{000c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Snapshot strings never contain surrogate
-                            // pairs (only control chars are \u-escaped).
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
-                            );
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                _ => {
-                    // Re-sync to the char boundary for multi-byte UTF-8.
-                    let start = self.pos - 1;
-                    let len = utf8_len(b);
-                    let chunk = self
-                        .bytes
-                        .get(start..start + len)
-                        .and_then(|c| std::str::from_utf8(c).ok())
-                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
-                    out.push_str(chunk);
-                    self.pos = start + len;
-                }
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, ParseError> {
-        let start = self.pos;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        if self.pos == start {
-            return Err(self.err("expected a number"));
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
-        Ok(Json::Num(text.to_string()))
-    }
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        b if b < 0x80 => 1,
-        b if b >= 0xF0 => 4,
-        b if b >= 0xE0 => 3,
-        _ => 2,
-    }
-}
-
-// ------------------------------------------------------- shape extraction --
-
-fn as_obj(v: &Json, what: &str) -> Result<Vec<(String, Json)>, ParseError> {
-    match v {
-        Json::Obj(entries) => Ok(entries.clone()),
-        _ => Err(ParseError::new(0, format!("{what} must be an object"))),
-    }
-}
-
-fn as_u64(v: &Json, what: &str) -> Result<u64, ParseError> {
-    match v {
-        Json::Num(text) => text
-            .parse()
-            .map_err(|_| ParseError::new(0, format!("{what} is not a u64"))),
-        _ => Err(ParseError::new(0, format!("{what} must be a number"))),
-    }
-}
-
-fn as_f64(v: &Json, what: &str) -> Result<f64, ParseError> {
-    match v {
-        Json::Num(text) => text
-            .parse()
-            .map_err(|_| ParseError::new(0, format!("{what} is not an f64"))),
-        Json::Null => Ok(0.0),
-        _ => Err(ParseError::new(0, format!("{what} must be a number"))),
-    }
-}
-
-fn as_str(v: &Json, what: &str) -> Result<String, ParseError> {
-    match v {
-        Json::Str(s) => Ok(s.clone()),
-        _ => Err(ParseError::new(0, format!("{what} must be a string"))),
-    }
-}
-
-fn field<'v>(obj: &'v [(String, Json)], key: &str) -> Result<&'v Json, ParseError> {
-    obj.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| ParseError::new(0, format!("missing key \"{key}\"")))
+/// Reconstructs an event from the object shape written by
+/// [`event_to_json`].
+pub fn event_from_value(v: &JsonValue) -> Result<Event, ParseError> {
+    let e = v.as_obj("event")?;
+    let fields = field(e, "fields")?
+        .as_obj("event fields")?
+        .iter()
+        .map(|(k, v)| Ok((k.clone(), v.as_str("event field value")?.to_string())))
+        .collect::<Result<Vec<_>, ParseError>>()?;
+    Ok(Event {
+        t_s: field(e, "t_s")?.as_f64("t_s")?,
+        target: field(e, "target")?.as_str("target")?.to_string(),
+        kind: field(e, "kind")?.as_str("kind")?.to_string(),
+        fields,
+    })
 }
 
 /// Parses a snapshot from [`to_json`] output.
 pub fn from_json(text: &str) -> Result<MetricsSnapshot, ParseError> {
-    let mut parser = Parser::new(text);
-    let root = parser.parse_value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(parser.err("trailing data after document"));
-    }
-    let root = as_obj(&root, "document root")?;
+    let root = parse_json(text)?;
+    let root = root.as_obj("document root")?;
 
-    let counters = as_obj(field(&root, "counters")?, "counters")?
+    let counters = field(root, "counters")?
+        .as_obj("counters")?
         .iter()
-        .map(|(name, v)| Ok((name.clone(), as_u64(v, "counter value")?)))
+        .map(|(name, v)| Ok((name.clone(), v.as_u64("counter value")?)))
         .collect::<Result<Vec<_>, ParseError>>()?;
 
-    let gauges = as_obj(field(&root, "gauges")?, "gauges")?
+    let gauges = field(root, "gauges")?
+        .as_obj("gauges")?
         .iter()
-        .map(|(name, v)| Ok((name.clone(), as_f64(v, "gauge value")?)))
+        .map(|(name, v)| Ok((name.clone(), v.as_f64("gauge value")?)))
         .collect::<Result<Vec<_>, ParseError>>()?;
 
-    let histograms = as_obj(field(&root, "histograms")?, "histograms")?
+    let histograms = field(root, "histograms")?
+        .as_obj("histograms")?
         .iter()
         .map(|(name, v)| {
-            let h = as_obj(v, "histogram")?;
+            let h = v.as_obj("histogram")?;
             Ok((
                 name.clone(),
                 HistogramSnapshot {
-                    count: as_u64(field(&h, "count")?, "count")?,
-                    sum: as_f64(field(&h, "sum")?, "sum")?,
-                    min: as_f64(field(&h, "min")?, "min")?,
-                    max: as_f64(field(&h, "max")?, "max")?,
-                    p50: as_f64(field(&h, "p50")?, "p50")?,
-                    p95: as_f64(field(&h, "p95")?, "p95")?,
-                    p99: as_f64(field(&h, "p99")?, "p99")?,
+                    count: field(h, "count")?.as_u64("count")?,
+                    sum: field(h, "sum")?.as_f64("sum")?,
+                    min: field(h, "min")?.as_f64("min")?,
+                    max: field(h, "max")?.as_f64("max")?,
+                    p50: field(h, "p50")?.as_f64("p50")?,
+                    p95: field(h, "p95")?.as_f64("p95")?,
+                    p99: field(h, "p99")?.as_f64("p99")?,
                 },
             ))
         })
         .collect::<Result<Vec<_>, ParseError>>()?;
 
-    let events = match field(&root, "events")? {
-        Json::Arr(items) => items
-            .iter()
-            .map(|item| {
-                let e = as_obj(item, "event")?;
-                let fields = as_obj(field(&e, "fields")?, "event fields")?
-                    .iter()
-                    .map(|(k, v)| Ok((k.clone(), as_str(v, "event field value")?)))
-                    .collect::<Result<Vec<_>, ParseError>>()?;
-                Ok(Event {
-                    t_s: as_f64(field(&e, "t_s")?, "t_s")?,
-                    target: as_str(field(&e, "target")?, "target")?,
-                    kind: as_str(field(&e, "kind")?, "kind")?,
-                    fields,
-                })
-            })
-            .collect::<Result<Vec<_>, ParseError>>()?,
-        _ => return Err(ParseError::new(0, "events must be an array")),
-    };
+    let events = field(root, "events")?
+        .as_arr("events")?
+        .iter()
+        .map(event_from_value)
+        .collect::<Result<Vec<_>, ParseError>>()?;
 
     Ok(MetricsSnapshot {
         counters,
         gauges,
         histograms,
         events,
-        events_dropped: as_u64(field(&root, "events_dropped")?, "events_dropped")?,
+        events_dropped: field(root, "events_dropped")?.as_u64("events_dropped")?,
     })
 }
 
@@ -487,5 +224,17 @@ mod tests {
             from_json(&to_json(&s)).unwrap().counter("big"),
             Some(u64::MAX)
         );
+    }
+
+    #[test]
+    fn standalone_events_round_trip() {
+        let e = Event {
+            t_s: 2.5,
+            target: "phy.frame".into(),
+            kind: "rs_uncorrectable".into(),
+            fields: vec![("frame".into(), "7".into())],
+        };
+        let parsed = event_from_value(&parse_json(&event_to_json(&e)).unwrap()).unwrap();
+        assert_eq!(parsed, e);
     }
 }

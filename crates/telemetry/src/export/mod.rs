@@ -8,6 +8,7 @@
 pub mod csv;
 pub mod json;
 pub mod summary;
+pub mod value;
 
 /// Failure while parsing an exported snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,7 +20,8 @@ pub struct ParseError {
 }
 
 impl ParseError {
-    pub(crate) fn new(at: usize, message: impl Into<String>) -> Self {
+    /// A parse failure at byte offset / line `at`.
+    pub fn new(at: usize, message: impl Into<String>) -> Self {
         ParseError {
             at,
             message: message.into(),

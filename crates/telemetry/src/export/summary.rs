@@ -65,6 +65,17 @@ pub fn summary_table(snap: &MetricsSnapshot) -> String {
         snap.events.len(),
         snap.events_dropped
     ));
+    // Ring health: silent eviction is invisible unless surfaced here. The
+    // event ring is part of the snapshot; the span ring lives in the
+    // tracer, so drivers that trace record its drop count under the
+    // `trace.spans_dropped` counter before snapshotting (densevlc-cli and
+    // run_all both do).
+    let span_drops = snap.counter("trace.spans_dropped");
+    out.push_str(&format!(
+        "rings: event ring dropped {}, span ring dropped {}\n",
+        snap.events_dropped,
+        span_drops.map_or_else(|| "n/a (no tracer)".to_string(), |d| d.to_string()),
+    ));
     out
 }
 
@@ -99,6 +110,7 @@ mod tests {
         assert!(table.contains("sim.blocked_links"));
         assert!(table.contains("alloc.optimal.solve_s"));
         assert!(table.contains("0 retained, 4 dropped"));
+        assert!(table.contains("event ring dropped 4, span ring dropped n/a"));
     }
 
     #[test]
@@ -106,5 +118,15 @@ mod tests {
         let table = summary_table(&MetricsSnapshot::default());
         assert!(table.contains("telemetry summary"));
         assert!(table.contains("0 retained, 0 dropped"));
+    }
+
+    #[test]
+    fn span_ring_drops_surface_when_a_tracer_recorded_them() {
+        let snap = MetricsSnapshot {
+            counters: vec![("trace.spans_dropped".into(), 7)],
+            ..Default::default()
+        };
+        let table = summary_table(&snap);
+        assert!(table.contains("event ring dropped 0, span ring dropped 7"));
     }
 }

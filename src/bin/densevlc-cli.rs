@@ -7,58 +7,63 @@
 //! densevlc-cli sync                                      Table-4 measurement
 //! densevlc-cli iperf   [--frames N]                      Table-5 experiment
 //! densevlc-cli faceoff [--scenario 1|2|3]                Fig-21 comparison
+//! densevlc-cli sim     [--scenario 1|2|3] [--duration S] streamed simulation
+//! densevlc-cli monitor <stream.ndjson> [--follow]        dashboard from a stream
 //! densevlc-cli help
 //! ```
 //!
-//! Every command accepts `--telemetry <json|csv|summary>`: the run then
-//! records metrics into a live registry and appends the chosen rendering
-//! after the command's normal output (`densevlc-cli --telemetry summary`
-//! alone runs an adaptation round and prints its summary table).
-//! `--telemetry-out <file>` redirects that rendering to a file instead
-//! (format from `--telemetry`, JSON when only the file is given), and
-//! `--trace <file>` records causal spans for the whole command and writes
-//! them as Chrome Trace Event JSON, loadable in Perfetto or
-//! chrome://tracing.
+//! Every command accepts the unified observability flag set parsed by
+//! `vlc_obs::ObsOptions` (the same flags, with the same errors, that
+//! `run_all` takes): `--telemetry <json|csv|summary>` records metrics and
+//! appends the chosen rendering, `--telemetry-out <file>` redirects it,
+//! `--trace <file>` writes Chrome Trace JSON. The `sim` command adds the
+//! streaming plane: `--obs-stream <file>` writes a live NDJSON record
+//! stream (`--obs-every N` sets the flush cadence), `--flight-recorder
+//! <file>` keeps a crash ring of the last `--flight-last K` records, and
+//! `--watch` renders the monitor dashboard when the run ends.
 //!
 //! Argument parsing is std-only on purpose: the reproduction's dependency
 //! set stays at the approved crates.
 
+use std::path::Path;
+
 use densevlc::experiments::{fig05_illuminance, fig21_baselines, tab04_sync_error, tab05_iperf};
-use densevlc::System;
+use densevlc::{Simulation, System};
 use vlc_led::LedParams;
+use vlc_obs::{
+    densevlc_defaults, inject_panic_from_env, monitor::render, parse_stream, FileSink,
+    FlightRecorder, MemorySink, ObsConfig, ObsOptions, ObsPlane, ObsRecord, ObsSink,
+    TelemetryFormat, WindowConfig,
+};
 use vlc_par::Jobs;
 use vlc_telemetry::Registry;
-use vlc_testbed::Scenario;
+use vlc_testbed::{Deployment, Scenario};
 use vlc_trace::{Span, Tracer};
-
-/// Telemetry rendering requested on the command line.
-#[derive(Clone, Copy, PartialEq)]
-enum TelemetryFormat {
-    Json,
-    Csv,
-    Summary,
-}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let format = telemetry_arg(&mut args);
-    let telemetry_out = path_arg(&mut args, "--telemetry-out");
-    let trace_out = path_arg(&mut args, "--trace");
-    let telemetry = if format.is_some() || telemetry_out.is_some() {
+    let obs = match ObsOptions::parse(&mut args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let telemetry = if obs.wants_registry() {
         Registry::new()
     } else {
         Registry::noop()
     };
-    let tracer = if trace_out.is_some() {
+    let tracer = if obs.wants_tracer() {
         Tracer::new()
     } else {
         Tracer::noop()
     };
-    // With `--telemetry`/`--telemetry-out`/`--trace` and no command,
-    // default to an adaptation round so there is something to record.
+    // With observability flags and no command, default to an adaptation
+    // round so there is something to record.
     let cmd = match args.first().map(String::as_str) {
         Some(c) => c,
-        None if format.is_some() || telemetry_out.is_some() || trace_out.is_some() => "adapt",
+        None if obs.wants_registry() || obs.wants_tracer() => "adapt",
         None => "help",
     };
     let root = tracer.root(&format!("cli.{cmd}"));
@@ -69,6 +74,8 @@ fn main() {
         "sync" => sync(&telemetry, &root),
         "iperf" => iperf(rest(&args), &telemetry),
         "faceoff" => faceoff(rest(&args)),
+        "sim" => sim(rest(&args), &telemetry, &root, &obs, &tracer),
+        "monitor" => monitor(rest(&args)),
         "help" | "--help" | "-h" => help(),
         other => {
             eprintln!("unknown command `{other}`\n");
@@ -77,21 +84,28 @@ fn main() {
         }
     }
     drop(root);
-    if let Some(path) = &trace_out {
+    if let Some(path) = &obs.trace {
         write_file(path, &tracer.snapshot().to_chrome_json(), "Chrome trace");
     }
-    if format.is_some() || telemetry_out.is_some() {
+    // Surface span-ring health next to event-ring health: the summary
+    // exporter's rings line reads this counter (see export::summary).
+    if obs.wants_tracer() && telemetry.is_enabled() {
+        telemetry
+            .counter("trace.spans_dropped")
+            .add(tracer.snapshot().dropped);
+    }
+    if obs.telemetry.is_some() || obs.telemetry_out.is_some() {
         let snapshot = telemetry.snapshot();
         // A bare `--telemetry-out FILE` means JSON; an explicit format
         // applies to the file just as it would to stdout.
-        let rendered = match format.unwrap_or(TelemetryFormat::Json) {
+        let rendered = match obs.telemetry.unwrap_or(TelemetryFormat::Json) {
             TelemetryFormat::Json => snapshot.to_json() + "\n",
             TelemetryFormat::Csv => snapshot.to_csv(),
             TelemetryFormat::Summary => snapshot.summary_table(),
         };
-        match &telemetry_out {
+        match &obs.telemetry_out {
             Some(path) => write_file(path, &rendered, "telemetry"),
-            None => match format {
+            None => match obs.telemetry {
                 Some(TelemetryFormat::Summary) => print!("\n{rendered}"),
                 _ => print!("{rendered}"),
             },
@@ -117,43 +131,21 @@ fn rest(args: &[String]) -> &[String] {
     }
 }
 
-/// Extracts `--telemetry <json|csv|summary>` from anywhere in the argument
-/// list, removing both tokens.
-fn telemetry_arg(args: &mut Vec<String>) -> Option<TelemetryFormat> {
-    let i = args.iter().position(|a| a == "--telemetry")?;
-    let format = match args.get(i + 1).map(String::as_str) {
-        Some("json") => TelemetryFormat::Json,
-        Some("csv") => TelemetryFormat::Csv,
-        Some("summary") => TelemetryFormat::Summary,
-        other => {
-            eprintln!(
-                "--telemetry expects json, csv or summary (got `{}`)",
-                other.unwrap_or("")
-            );
-            std::process::exit(2);
-        }
-    };
-    args.drain(i..=i + 1);
-    Some(format)
-}
-
-/// Extracts `<flag> <path>` from anywhere in the argument list, removing
-/// both tokens.
-fn path_arg(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == flag)?;
-    let Some(path) = args.get(i + 1).cloned() else {
-        eprintln!("{flag} expects a file path");
-        std::process::exit(2);
-    };
-    args.drain(i..=i + 1);
-    Some(path)
-}
-
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+fn f64_flag(args: &[String], flag: &str, default: f64) -> f64 {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad {flag} value `{v}`");
+            std::process::exit(2);
+        }),
+    }
 }
 
 fn scenario_arg(args: &[String]) -> Scenario {
@@ -170,9 +162,7 @@ fn scenario_arg(args: &[String]) -> Scenario {
 
 fn adapt(args: &[String], telemetry: &Registry, parent: &Span) {
     let scenario = scenario_arg(args);
-    let budget: f64 = flag_value(args, "--budget")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.2);
+    let budget = f64_flag(args, "--budget", 1.2);
     let mut system = System::scenario(scenario, budget);
     let round = system.adapt_traced(telemetry, parent);
     println!("{} @ {budget} W", scenario.label());
@@ -228,9 +218,7 @@ fn adapt(args: &[String], telemetry: &Registry, parent: &Span) {
 /// receiver positions as an ASCII floor plan.
 fn map(args: &[String], telemetry: &Registry, parent: &Span) {
     let scenario = scenario_arg(args);
-    let budget: f64 = flag_value(args, "--budget")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.2);
+    let budget = f64_flag(args, "--budget", 1.2);
     let mut system = System::scenario(scenario, budget);
     let round = system.adapt_traced(telemetry, parent);
     let grid = &system.deployment.grid;
@@ -304,6 +292,131 @@ fn faceoff(args: &[String]) {
     print!("{}", fig21_baselines::run(scenario_arg(args)).report());
 }
 
+/// Runs the composable simulation, optionally streaming the
+/// observability plane; `--person X Y` drops a standing occluder to make
+/// blockage (and the per-RX throughput SLOs) do something.
+fn sim(args: &[String], telemetry: &Registry, parent: &Span, obs: &ObsOptions, tracer: &Tracer) {
+    let scenario = scenario_arg(args);
+    let budget = f64_flag(args, "--budget", 1.2);
+    let duration = f64_flag(args, "--duration", 2.0);
+    let period = f64_flag(args, "--period", 0.25);
+    let slo_bps = f64_flag(args, "--slo-bps", 1e6);
+    let slo_solver_s = f64_flag(args, "--slo-solver-s", 0.05);
+    let mut simulation = Simulation::new(Deployment::scenario(scenario), budget, period);
+    if let Some(x) = flag_value(args, "--person") {
+        let i = args.iter().position(|a| a == "--person").unwrap();
+        let Some(y) = args.get(i + 2) else {
+            eprintln!("--person expects X Y coordinates");
+            std::process::exit(2);
+        };
+        match (x.parse::<f64>(), y.parse::<f64>()) {
+            (Ok(px), Ok(py)) => simulation.add_person(px, py, 0.5, &[]),
+            _ => {
+                eprintln!("bad --person coordinates `{x} {y}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n_rx = simulation.deployment.receivers.len();
+
+    let timeline = if obs.wants_stream() {
+        let mem = MemorySink::new();
+        let sink: Box<dyn ObsSink> = match &obs.obs_stream {
+            Some(path) => match FileSink::create(Path::new(path)) {
+                Ok(f) => Box::new(f),
+                Err(e) => {
+                    eprintln!("error: cannot create stream file {path}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => Box::new(mem.clone()),
+        };
+        let cfg = ObsConfig {
+            run: format!("sim {}", scenario.label()),
+            every: obs.obs_every,
+            window: WindowConfig::default(),
+            rules: densevlc_defaults(n_rx, slo_bps, slo_solver_s),
+            panic_at_tick: inject_panic_from_env(),
+        };
+        let mut plane = ObsPlane::new(sink, cfg);
+        if let Some(path) = &obs.flight_recorder {
+            plane = plane.with_flight(FlightRecorder::new(Path::new(path), obs.flight_last));
+        }
+        let tl = simulation.run_observed(duration, telemetry, parent, &mut plane);
+        plane.finish(telemetry, tracer.snapshot().dropped);
+        if let Some(path) = &obs.obs_stream {
+            eprintln!("wrote observability stream to {path}");
+        }
+        if obs.watch {
+            let text = match &obs.obs_stream {
+                Some(path) => std::fs::read_to_string(path).unwrap_or_default(),
+                None => mem.text(),
+            };
+            match parse_stream(&text) {
+                Ok(records) => print!("\n{}", render(&records)),
+                Err(e) => eprintln!("error: stream failed validation: {e}"),
+            }
+        }
+        tl
+    } else {
+        simulation.run_traced(duration, telemetry, parent)
+    };
+
+    println!(
+        "{}: {} ticks over {duration} s — mean system {:.2} Mb/s, {} replans, outage {:.1}%",
+        scenario.label(),
+        timeline.ticks.len(),
+        timeline.mean_system_bps() / 1e6,
+        timeline.replans(),
+        timeline.outage_fraction() * 100.0
+    );
+}
+
+/// Renders the monitor dashboard from an NDJSON stream file; `--follow`
+/// re-reads and re-renders until the stream ends in a summary or panic.
+fn monitor(args: &[String]) {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("monitor expects a stream file (densevlc-cli monitor run.ndjson)");
+        std::process::exit(2);
+    };
+    let follow = args.iter().any(|a| a == "--follow");
+    loop {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if follow => {
+                // The producer may not have created the file yet.
+                eprintln!("waiting for {path}: {e}");
+                std::thread::sleep(std::time::Duration::from_millis(500));
+                continue;
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match parse_stream(&text) {
+            Ok(records) => {
+                if follow {
+                    // Clear and repaint, terminal-dashboard style.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", render(&records));
+                let done = records
+                    .iter()
+                    .any(|r| matches!(r, ObsRecord::Summary { .. } | ObsRecord::Panic { .. }));
+                if !follow || done {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {path} failed stream validation: {e}");
+                std::process::exit(2);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+}
+
 fn help() {
     println!(
         "densevlc-cli — DenseVLC (CoNEXT '18) reproduction\n\n\
@@ -315,14 +428,24 @@ fn help() {
          sync                                     Table-4 sync-error measurement\n  \
          iperf   [--frames N]                     Table-5 end-to-end experiment\n  \
          faceoff [--scenario 1|2|3]               Fig-21 SISO/D-MISO comparison\n  \
+         sim     [--scenario 1|2|3] [--budget W] [--duration S] [--period S]\n  \
+         \x20       [--person X Y] [--slo-bps BPS] [--slo-solver-s S]\n  \
+         \x20                                        run the tick simulation\n  \
+         monitor <stream.ndjson> [--follow]       dashboard from an obs stream\n  \
          help                                     this text\n\n\
-         OPTIONS:\n  \
+         OBSERVABILITY OPTIONS (any command):\n  \
          --telemetry <json|csv|summary>           record metrics during the run\n  \
          \x20                                        and append them to the output\n  \
          --telemetry-out <file>                   write the telemetry rendering to\n  \
          \x20                                        a file instead (default json)\n  \
          --trace <file>                           record causal spans and write\n  \
          \x20                                        Chrome Trace JSON (Perfetto)\n\n\
+         STREAMING OPTIONS (sim):\n  \
+         --obs-stream <file>                      live NDJSON observability stream\n  \
+         --obs-every <n>                          stream flush cadence in ticks\n  \
+         --flight-recorder <file>                 crash dump of the last records\n  \
+         --flight-last <k>                        flight ring capacity (lines)\n  \
+         --watch                                  render the dashboard at exit\n\n\
          Full per-figure binaries live in the vlc-bench crate:\n  \
          cargo run --release -p vlc-bench --bin run_all"
     );

@@ -113,3 +113,76 @@ fn default_run_emits_no_observability_artifacts() {
     assert!(!stdout.contains("\"counters\""));
     assert!(String::from_utf8_lossy(&out.stderr).is_empty());
 }
+
+#[test]
+fn short_run_reports_zero_ring_drops_in_the_summary() {
+    // Regression: the summary exporter surfaces both bounded-ring drop
+    // counts, and a short run must not drop anything from either ring.
+    let trace = tmp("drops_trace.json");
+    let out = cli()
+        .args([
+            "sim",
+            "--duration",
+            "0.5",
+            "--telemetry",
+            "summary",
+            "--trace",
+        ])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("event ring dropped 0, span ring dropped 0"),
+        "summary must report zero drops for a short run: {stdout}"
+    );
+}
+
+#[test]
+fn streamed_sim_validates_and_the_monitor_renders_it() {
+    let stream = tmp("sim_stream.ndjson");
+    let out = cli()
+        .args(["sim", "--duration", "1.0", "--obs-stream"])
+        .arg(&stream)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Every line parses; the stream is a complete run.
+    let text = std::fs::read_to_string(&stream).unwrap();
+    let records = vlc_obs::parse_stream_strict(&text).expect("valid NDJSON stream");
+    assert!(matches!(
+        records.first(),
+        Some(vlc_obs::ObsRecord::Meta { .. })
+    ));
+    assert!(matches!(
+        records.last(),
+        Some(vlc_obs::ObsRecord::Summary { .. })
+    ));
+
+    // The monitor subcommand renders the same file.
+    let out = cli().arg("monitor").arg(&stream).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let view = String::from_utf8_lossy(&out.stdout);
+    assert!(view.contains("densevlc monitor"), "{view}");
+    assert!(view.contains("run complete"), "{view}");
+
+    // An invalid stream is rejected with a diagnostic.
+    let bad = tmp("bad_stream.ndjson");
+    std::fs::write(&bad, "{\"type\":\"nope\"}\n").unwrap();
+    let out = cli().arg("monitor").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
