@@ -1,0 +1,182 @@
+//! Sweeps every registered codec stack across payload scenarios and
+//! calibrated noise profiles, reporting a PER-vs-overhead frontier.
+//!
+//! Cells run as a parallel job set on the `vlc-par` pool; the report is
+//! assembled in fixed cell order, so the emitted JSON is byte-identical
+//! for any `--jobs` value (`--jobs 1` is the exact sequential run). The
+//! reduced sweep (`--reduced`) is what CI runs and what the golden
+//! snapshot `tests/golden/codec_campaign.json` pins.
+//!
+//! All observability flags are parsed by the shared `vlc_obs::ObsOptions`;
+//! `--obs-stream FILE` records one `job` record per sweep cell (in cell
+//! order) plus a run summary, validated by `obs_check`.
+
+use vlc_bench::codec_lab::{CampaignConfig, CampaignReport};
+use vlc_obs::{
+    monitor, parse_stream, FileSink, MemorySink, ObsOptions, ObsRecord, ObsSink, OBS_SCHEMA,
+};
+use vlc_par::{Jobs, Pool, JOBS_ENV};
+
+const USAGE: &str = "\
+codec_campaign — sweep FEC codec stacks across noise profiles
+
+USAGE:
+    codec_campaign [--jobs N] [--frames N] [--reduced] [--out FILE]
+                   [--obs-stream FILE] [--watch]
+
+OPTIONS:
+    --jobs N            Worker count for the sweep cells. N = a positive
+                        integer, or `max`/`0` for all available cores.
+                        Defaults to the DENSEVLC_JOBS environment variable,
+                        then to all cores. The report is byte-identical for
+                        every worker count.
+    --frames N          Frames per sweep cell (overrides the campaign's
+                        default).
+    --reduced           Run the reduced CI sweep (one scenario, five
+                        profiles) instead of the full campaign.
+    --out FILE          Write the JSON report to FILE instead of stdout.
+    --obs-stream FILE   Write an NDJSON observability stream: one `job`
+                        record per sweep cell plus a run summary, validated
+                        by `obs_check`.
+    --watch             Render the monitor dashboard from the stream after
+                        the run.
+    -h, --help          Print this help.
+";
+
+struct Options {
+    jobs: Jobs,
+    frames: Option<usize>,
+    reduced: bool,
+    out: Option<String>,
+    obs: ObsOptions,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "-h" || a == "--help") {
+        print!("{USAGE}");
+        std::process::exit(0);
+    }
+    let obs = ObsOptions::parse(&mut argv)?;
+    let mut opts = Options {
+        jobs: Jobs::from_env(),
+        frames: None,
+        reduced: false,
+        out: None,
+        obs,
+    };
+    let mut rest = argv.into_iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = rest.next().ok_or("--jobs needs a value (N or `max`)")?;
+                opts.jobs = Jobs::parse(&v).ok_or(format!("bad --jobs value `{v}`"))?;
+            }
+            "--frames" => {
+                let v = rest.next().ok_or("--frames needs a value")?;
+                opts.frames = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or(format!("bad --frames value `{v}`"))?,
+                );
+            }
+            "--reduced" => opts.reduced = true,
+            "--out" => {
+                opts.out = Some(rest.next().ok_or("--out needs a file path")?);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    std::env::set_var(JOBS_ENV, opts.jobs.get().to_string());
+
+    let mut cfg = if opts.reduced {
+        CampaignConfig::reduced()
+    } else {
+        CampaignConfig::paper()
+    };
+    if let Some(frames) = opts.frames {
+        cfg.frames = frames;
+    }
+
+    let pool = Pool::new(opts.jobs);
+    let report = CampaignReport::run(&cfg, &pool);
+    let json = report.to_json();
+
+    match &opts.out {
+        Some(path) => match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote campaign report to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write report to {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => print!("{json}"),
+    }
+
+    // Observability stream: one `job` record per sweep cell, in the fixed
+    // cell order — byte-identical for any worker count.
+    if opts.obs.wants_stream() {
+        let mut records = vec![ObsRecord::Meta {
+            schema: OBS_SCHEMA.into(),
+            run: "codec_campaign".into(),
+            tick_s: 0.0,
+            n_rx: 0,
+            every: opts.obs.obs_every,
+        }];
+        for idx in 0..cfg.n_cells() {
+            records.push(ObsRecord::Job {
+                index: idx as u64,
+                name: cfg.cell_label(idx),
+            });
+        }
+        records.push(ObsRecord::Summary {
+            ticks: 0,
+            mean_system_bps: 0.0,
+            alerts_fired: 0,
+            alerts_cleared: 0,
+            events_dropped: 0,
+            spans_dropped: 0,
+        });
+        let mem = MemorySink::new();
+        let mut sink: Box<dyn ObsSink> = match &opts.obs.obs_stream {
+            Some(path) => match FileSink::create(std::path::Path::new(path)) {
+                Ok(f) => Box::new(f),
+                Err(e) => {
+                    eprintln!("error: cannot create stream file {path}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            None => Box::new(mem.clone()),
+        };
+        for r in &records {
+            let _ = sink.write_line(&r.to_line());
+        }
+        let _ = sink.flush();
+        drop(sink);
+        if let Some(path) = &opts.obs.obs_stream {
+            eprintln!("wrote observability stream to {path}");
+        }
+        if opts.obs.watch {
+            let text = match &opts.obs.obs_stream {
+                Some(path) => std::fs::read_to_string(path).unwrap_or_default(),
+                None => mem.text(),
+            };
+            match parse_stream(&text) {
+                Ok(parsed) => print!("\n{}", monitor::render(&parsed)),
+                Err(e) => eprintln!("error: stream failed validation: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! The FEC codec lab: calibrated noise injectors and the campaign engine
+//! behind the `codec_campaign` binary.
+//!
+//! The lab sweeps every stack in [`vlc_phy::codec::registry`] across
+//! payload scenarios and noise profiles, measuring packet error rate
+//! against coding overhead. Three injector families model the channel
+//! impairments the paper's PHY faces:
+//!
+//! * **AWGN** — independent bit flips at probability `Q(√(2·SNR))`, the
+//!   hard-decision OOK error rate at a given per-bit SNR (the Q-function
+//!   uses the Abramowitz–Stegun 7.1.26 erfc approximation, calibrated by
+//!   the tests below);
+//! * **burst erasures** — runs of consecutive corrupted bytes (an occluder
+//!   sweeping the beam, a mains impulse), with configurable start rate and
+//!   burst length, non-overlapping;
+//! * **truncation** — chip deletion at the slicer: the tail of the coded
+//!   stream goes missing, which every stack must turn into a *detected*
+//!   loss.
+//!
+//! Every cell of the sweep runs as one `vlc-par` job whose result is a
+//! pure function of the cell index (own RNG, own stack set), so the
+//! campaign report is byte-identical for any `DENSEVLC_JOBS` — the PR 2
+//! determinism contract. The report renders with exact (`{:?}`) float
+//! formatting and a fixed key order, making it golden-snapshot stable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use vlc_par::Pool;
+use vlc_phy::codec::registry;
+
+/// The Gaussian tail function Q(x) = P(N(0,1) > x), via the
+/// Abramowitz–Stegun 7.1.26 polynomial approximation of erfc (absolute
+/// error < 1.5e-7 — see the calibration tests).
+pub fn q_function(x: f64) -> f64 {
+    if x < 0.0 {
+        return 1.0 - q_function(-x);
+    }
+    // erfc(z) for z ≥ 0, A&S 7.1.26.
+    let z = x / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * z);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erfc = poly * (-z * z).exp();
+    0.5 * erfc
+}
+
+/// Hard-decision OOK bit-error probability at `snr_db` per-bit SNR:
+/// `Q(√(2·snr))`.
+pub fn awgn_flip_probability(snr_db: f64) -> f64 {
+    let snr = 10f64.powf(snr_db / 10.0);
+    q_function((2.0 * snr).sqrt())
+}
+
+/// A calibrated channel impairment applied to a coded byte stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseProfile {
+    /// No impairment — the floor of every PER curve.
+    Clean,
+    /// Independent bit flips at the hard-decision OOK error rate for the
+    /// given per-bit SNR.
+    Awgn {
+        /// Per-bit SNR in dB.
+        snr_db: f64,
+    },
+    /// Non-overlapping byte bursts: each byte position starts a burst with
+    /// probability `rate`; a burst XORs `len` consecutive bytes with
+    /// fresh nonzero patterns, then the scan skips past it.
+    Burst {
+        /// Per-byte burst start probability.
+        rate: f64,
+        /// Burst length in bytes.
+        len: usize,
+    },
+    /// Chip deletion at the slicer: with probability `prob` the stream
+    /// loses its tail, keeping a uniform fraction in
+    /// `[min_keep, 1)` of its bytes.
+    Truncate {
+        /// Per-frame truncation probability.
+        prob: f64,
+        /// Minimum kept fraction of the coded stream.
+        min_keep: f64,
+    },
+}
+
+impl NoiseProfile {
+    /// Stable identifier used in reports and obs streams.
+    pub fn label(&self) -> String {
+        match self {
+            NoiseProfile::Clean => "clean".to_string(),
+            NoiseProfile::Awgn { snr_db } => format!("awgn_snr{snr_db:?}dB"),
+            NoiseProfile::Burst { rate, len } => format!("burst_p{rate:?}_l{len}"),
+            NoiseProfile::Truncate { prob, min_keep } => {
+                format!("trunc_p{prob:?}_k{min_keep:?}")
+            }
+        }
+    }
+
+    /// Applies the impairment to `coded` in place, drawing from `rng`.
+    pub fn apply(&self, coded: &mut Vec<u8>, rng: &mut StdRng) {
+        match *self {
+            NoiseProfile::Clean => {}
+            NoiseProfile::Awgn { snr_db } => {
+                let p = awgn_flip_probability(snr_db);
+                for byte in coded.iter_mut() {
+                    for bit in 0..8 {
+                        if rng.gen_bool(p) {
+                            *byte ^= 1 << bit;
+                        }
+                    }
+                }
+            }
+            NoiseProfile::Burst { rate, len } => {
+                let mut i = 0;
+                while i < coded.len() {
+                    if rng.gen_bool(rate) {
+                        let end = (i + len).min(coded.len());
+                        for b in &mut coded[i..end] {
+                            *b ^= rng.gen_range(1..=255u8);
+                        }
+                        i = end;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            NoiseProfile::Truncate { prob, min_keep } => {
+                if !coded.is_empty() && rng.gen_bool(prob) {
+                    let floor = (coded.len() as f64 * min_keep) as usize;
+                    let keep = rng.gen_range(floor..coded.len());
+                    coded.truncate(keep);
+                }
+            }
+        }
+    }
+}
+
+/// One payload regime of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Stable identifier used in reports and obs streams.
+    pub name: &'static str,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// The full sweep definition. Cell order is fixed — stacks outermost, then
+/// scenarios, then profiles — and every derived artifact (report rows, obs
+/// `job` records, frontier groups) follows it.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Base RNG seed; each cell derives its own stream from it.
+    pub seed: u64,
+    /// Frames per cell.
+    pub frames: usize,
+    /// Payload regimes.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Channel impairments.
+    pub profiles: Vec<NoiseProfile>,
+}
+
+impl CampaignConfig {
+    /// The full campaign: three payload regimes spanning the paper's frame
+    /// sizes, an SNR sweep around the OOK waterfall, burst and truncation
+    /// arms.
+    pub fn paper() -> Self {
+        CampaignConfig {
+            seed: 0xC0DEC,
+            frames: 64,
+            scenarios: vec![
+                ScenarioSpec {
+                    name: "short",
+                    payload_len: 40,
+                },
+                ScenarioSpec {
+                    name: "paper",
+                    payload_len: 200,
+                },
+                ScenarioSpec {
+                    name: "jumbo",
+                    payload_len: 480,
+                },
+            ],
+            profiles: vec![
+                NoiseProfile::Clean,
+                NoiseProfile::Awgn { snr_db: 8.0 },
+                NoiseProfile::Awgn { snr_db: 6.0 },
+                NoiseProfile::Awgn { snr_db: 5.0 },
+                NoiseProfile::Awgn { snr_db: 4.0 },
+                NoiseProfile::Burst {
+                    rate: 0.002,
+                    len: 12,
+                },
+                NoiseProfile::Burst {
+                    rate: 0.004,
+                    len: 40,
+                },
+                NoiseProfile::Truncate {
+                    prob: 0.25,
+                    min_keep: 0.9,
+                },
+            ],
+        }
+    }
+
+    /// The reduced sweep used by CI and the golden snapshot: one scenario,
+    /// five profiles, 20 frames per cell.
+    pub fn reduced() -> Self {
+        CampaignConfig {
+            seed: 0xC0DEC,
+            frames: 20,
+            scenarios: vec![ScenarioSpec {
+                name: "paper",
+                payload_len: 120,
+            }],
+            profiles: vec![
+                NoiseProfile::Clean,
+                NoiseProfile::Awgn { snr_db: 6.0 },
+                NoiseProfile::Awgn { snr_db: 4.0 },
+                NoiseProfile::Burst {
+                    rate: 0.004,
+                    len: 12,
+                },
+                NoiseProfile::Truncate {
+                    prob: 0.25,
+                    min_keep: 0.9,
+                },
+            ],
+        }
+    }
+
+    /// Total number of sweep cells.
+    pub fn n_cells(&self) -> usize {
+        registry().len() * self.scenarios.len() * self.profiles.len()
+    }
+
+    /// The `(stack, scenario, profile)` index triple of cell `idx`.
+    fn cell_coords(&self, idx: usize) -> (usize, usize, usize) {
+        let per_stack = self.scenarios.len() * self.profiles.len();
+        (
+            idx / per_stack,
+            (idx % per_stack) / self.profiles.len(),
+            idx % self.profiles.len(),
+        )
+    }
+
+    /// Stable label of cell `idx` (`stack/scenario/profile`), used for the
+    /// obs stream's `job` records.
+    pub fn cell_label(&self, idx: usize) -> String {
+        let (s, sc, p) = self.cell_coords(idx);
+        format!(
+            "{}/{}/{}",
+            registry()[s].name(),
+            self.scenarios[sc].name,
+            self.profiles[p].label()
+        )
+    }
+}
+
+/// Measured outcome of one sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Stack name (from the registry).
+    pub stack: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Noise profile label.
+    pub profile: String,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Coding overhead as extra bytes per payload byte.
+    pub overhead: f64,
+    /// Frames attempted.
+    pub frames: usize,
+    /// Frames recovered exactly.
+    pub frames_ok: usize,
+    /// Frames rejected by the stack (detected losses).
+    pub detected: usize,
+    /// Frames decoded to a *wrong* payload (silent corruption — the
+    /// failure mode the CRC layers exist to eliminate).
+    pub wrong_payload: usize,
+    /// Total corrected symbols across ok frames, in the stack's native
+    /// unit (bytes for RS, channel bits for convolutional).
+    pub corrected: u64,
+    /// Packet error rate: `1 - frames_ok / frames`.
+    pub per: f64,
+}
+
+/// Runs one cell: `frames` random payloads through one stack under one
+/// noise profile. Pure function of `(cfg, idx)` — the determinism contract
+/// rests on this.
+fn run_cell(cfg: &CampaignConfig, idx: usize) -> CellReport {
+    let (s, sc, p) = cfg.cell_coords(idx);
+    let mut stack = registry().swap_remove(s);
+    let scenario = &cfg.scenarios[sc];
+    let profile = &cfg.profiles[p];
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    let payload_len = scenario.payload_len;
+    let mut payload = vec![0u8; payload_len];
+    let mut coded = Vec::new();
+    let mut out = Vec::new();
+    let (mut ok, mut detected, mut wrong, mut corrected_total) = (0usize, 0usize, 0usize, 0u64);
+    for _ in 0..cfg.frames {
+        for b in payload.iter_mut() {
+            *b = rng.gen();
+        }
+        coded.clear();
+        stack.encode_into(&payload, &mut coded);
+        profile.apply(&mut coded, &mut rng);
+        out.clear();
+        match stack.decode_into(&coded, payload_len, &mut out) {
+            Ok(corrected) if out == payload => {
+                ok += 1;
+                corrected_total += corrected as u64;
+            }
+            Ok(_) => wrong += 1,
+            Err(_) => detected += 1,
+        }
+    }
+    CellReport {
+        stack: stack.name().to_string(),
+        scenario: scenario.name.to_string(),
+        profile: profile.label(),
+        payload_len,
+        overhead: (stack.encoded_len(payload_len) - payload_len) as f64 / payload_len as f64,
+        frames: cfg.frames,
+        frames_ok: ok,
+        detected,
+        wrong_payload: wrong,
+        corrected: corrected_total,
+        per: 1.0 - ok as f64 / cfg.frames as f64,
+    }
+}
+
+/// The completed sweep, in fixed cell order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Base seed the sweep ran with.
+    pub seed: u64,
+    /// Frames per cell.
+    pub frames: usize,
+    /// One row per sweep cell, stacks outermost.
+    pub cells: Vec<CellReport>,
+}
+
+/// One point on a PER-vs-overhead frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// Stack name.
+    pub stack: String,
+    /// Extra bytes per payload byte.
+    pub overhead: f64,
+    /// Packet error rate at that overhead.
+    pub per: f64,
+}
+
+impl CampaignReport {
+    /// Runs the whole sweep on `pool`. Cells execute in parallel but the
+    /// report is assembled in cell-index order, so the result — and its
+    /// JSON rendering — is byte-identical for any worker count.
+    pub fn run(cfg: &CampaignConfig, pool: &Pool) -> Self {
+        let cells = pool.map_indexed(cfg.n_cells(), |idx| run_cell(cfg, idx));
+        CampaignReport {
+            seed: cfg.seed,
+            frames: cfg.frames,
+            cells,
+        }
+    }
+
+    /// The Pareto frontier of `(overhead, per)` for one
+    /// `(scenario, profile)` slice: stacks sorted by overhead, keeping
+    /// each point that strictly improves PER over everything cheaper. A
+    /// stack that pays more overhead for no PER gain is dominated and
+    /// dropped.
+    pub fn frontier(&self, scenario: &str, profile: &str) -> Vec<FrontierPoint> {
+        let mut slice: Vec<&CellReport> = self
+            .cells
+            .iter()
+            .filter(|c| c.scenario == scenario && c.profile == profile)
+            .collect();
+        slice.sort_by(|a, b| {
+            a.overhead
+                .partial_cmp(&b.overhead)
+                .unwrap()
+                .then(a.per.partial_cmp(&b.per).unwrap())
+                .then(a.stack.cmp(&b.stack))
+        });
+        let mut points = Vec::new();
+        let mut best_per = f64::INFINITY;
+        for c in slice {
+            if c.per < best_per {
+                best_per = c.per;
+                points.push(FrontierPoint {
+                    stack: c.stack.clone(),
+                    overhead: c.overhead,
+                    per: c.per,
+                });
+            }
+        }
+        points
+    }
+
+    /// Every `(scenario, profile)` pair present, in cell order.
+    pub fn groups(&self) -> Vec<(String, String)> {
+        let mut groups = Vec::new();
+        for c in &self.cells {
+            let g = (c.scenario.clone(), c.profile.clone());
+            if !groups.contains(&g) {
+                groups.push(g);
+            }
+        }
+        groups
+    }
+
+    /// Renders the report as `densevlc-codec-campaign/1` JSON: fixed key
+    /// order, exact (`{:?}`) float formatting, trailing newline — suitable
+    /// for byte comparison and golden snapshots. The worker count is
+    /// deliberately absent: the rendering must not depend on it.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        write!(
+            s,
+            "{{\"schema\":\"densevlc-codec-campaign/1\",\"seed\":{},\"frames\":{},\"cells\":[",
+            self.seed, self.frames
+        )
+        .unwrap();
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write!(
+                s,
+                "{{\"stack\":\"{}\",\"scenario\":\"{}\",\"profile\":\"{}\",\
+                 \"payload_len\":{},\"overhead\":{},\"frames\":{},\"frames_ok\":{},\
+                 \"detected\":{},\"wrong_payload\":{},\"corrected\":{},\"per\":{}}}",
+                c.stack,
+                c.scenario,
+                c.profile,
+                c.payload_len,
+                jnum(c.overhead),
+                c.frames,
+                c.frames_ok,
+                c.detected,
+                c.wrong_payload,
+                c.corrected,
+                jnum(c.per)
+            )
+            .unwrap();
+        }
+        s.push_str("],\"frontier\":[");
+        for (i, (scenario, profile)) in self.groups().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write!(
+                s,
+                "{{\"scenario\":\"{scenario}\",\"profile\":\"{profile}\",\"points\":["
+            )
+            .unwrap();
+            for (j, p) in self.frontier(scenario, profile).iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                write!(
+                    s,
+                    "{{\"stack\":\"{}\",\"overhead\":{},\"per\":{}}}",
+                    p.stack,
+                    jnum(p.overhead),
+                    jnum(p.per)
+                )
+                .unwrap();
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}\n");
+        s
+    }
+}
+
+/// Exact JSON rendering of an f64: `{:?}` prints the shortest decimal that
+/// round-trips the bit pattern (the same convention as the golden traces).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        format!("\"{v:?}\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlc_par::Jobs;
+
+    #[test]
+    fn q_function_matches_tabulated_values() {
+        // Standard normal tail probabilities (tables / high-precision
+        // references); A&S 7.1.26 is good to ~1.5e-7 absolute.
+        for (x, expected) in [
+            (0.0, 0.5),
+            (1.0, 0.158655_2539),
+            (2.0, 0.022750_1319),
+            (3.0, 0.001349_8980),
+            (-1.0, 0.841344_7461),
+        ] {
+            let got = q_function(x);
+            assert!(
+                (got - expected).abs() < 2e-7,
+                "Q({x}) = {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn awgn_flip_probability_is_calibrated() {
+        // 0 dB: Q(√2) ≈ 0.0786; higher SNR must monotonically clean up.
+        let p0 = awgn_flip_probability(0.0);
+        assert!((p0 - 0.078649).abs() < 1e-5, "p(0 dB) = {p0}");
+        let mut prev = p0;
+        for snr in [2.0, 4.0, 6.0, 8.0, 10.0] {
+            let p = awgn_flip_probability(snr);
+            assert!(p < prev, "flip probability must fall with SNR");
+            prev = p;
+        }
+        assert!(awgn_flip_probability(10.0) < 5e-6);
+    }
+
+    #[test]
+    fn awgn_injector_hits_its_calibrated_rate() {
+        // Empirical flip fraction over ~10^6 bits tracks the analytic rate.
+        let profile = NoiseProfile::Awgn { snr_db: 3.0 };
+        let p = awgn_flip_probability(3.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let clean = vec![0u8; 125_000];
+        let mut noisy = clean.clone();
+        profile.apply(&mut noisy, &mut rng);
+        let flips: u32 = noisy.iter().map(|b| b.count_ones()).sum();
+        let got = flips as f64 / (clean.len() * 8) as f64;
+        assert!(
+            (got - p).abs() / p < 0.05,
+            "empirical flip rate {got} vs analytic {p}"
+        );
+    }
+
+    #[test]
+    fn burst_injector_produces_nonoverlapping_runs() {
+        let profile = NoiseProfile::Burst { rate: 0.01, len: 8 };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut data = vec![0u8; 20_000];
+        profile.apply(&mut data, &mut rng);
+        // Bursts never overlap: the scan skips past each one, so a maximal
+        // corrupted run is a whole number of bursts (occasionally two or
+        // three land back-to-back) — never a partial extension.
+        let mut run = 0usize;
+        let mut corrupted = 0usize;
+        for (i, &b) in data.iter().chain(std::iter::once(&0)).enumerate() {
+            if b != 0 {
+                run += 1;
+                corrupted += 1;
+            } else {
+                // A run ending at the stream tail may be a truncated burst;
+                // every interior run is a whole number of bursts.
+                if i < data.len() {
+                    assert_eq!(run % 8, 0, "run of {run} is not a whole number of bursts");
+                }
+                assert!(run <= 3 * 8, "implausibly long burst chain: {run}");
+                run = 0;
+            }
+        }
+        // ~1% start rate × 8-byte bursts ≈ 7.4% of bytes corrupted.
+        let frac = corrupted as f64 / data.len() as f64;
+        assert!((0.04..0.12).contains(&frac), "corrupted fraction {frac}");
+    }
+
+    #[test]
+    fn truncate_injector_respects_its_floor() {
+        let profile = NoiseProfile::Truncate {
+            prob: 1.0,
+            min_keep: 0.8,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let mut data = vec![1u8; 1000];
+            profile.apply(&mut data, &mut rng);
+            assert!(
+                data.len() >= 800 && data.len() < 1000,
+                "kept {}",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cell_labels_cover_the_grid_in_fixed_order() {
+        let cfg = CampaignConfig::reduced();
+        assert_eq!(cfg.n_cells(), 4 * 5); // 4 stacks × 1 scenario × 5 profiles
+        assert_eq!(cfg.cell_label(0), "rs/paper/clean");
+        assert_eq!(cfg.cell_label(5), "rs+il16/paper/clean");
+        assert_eq!(
+            cfg.cell_label(cfg.n_cells() - 1),
+            "crc32/paper/trunc_p0.25_k0.9"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_worker_counts() {
+        let cfg = CampaignConfig::reduced();
+        let serial = CampaignReport::run(&cfg, &Pool::new(Jobs::of(1)));
+        let parallel = CampaignReport::run(&cfg, &Pool::new(Jobs::of(8)));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn fec_beats_the_uncoded_baseline_under_noise() {
+        let cfg = CampaignConfig::reduced();
+        let report = CampaignReport::run(&cfg, &Pool::new(Jobs::of(1)));
+        let per_of = |stack: &str, profile: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.stack == stack && c.profile == profile)
+                .map(|c| c.per)
+                .unwrap()
+        };
+        // Everything is clean on the clean channel.
+        for c in report.cells.iter().filter(|c| c.profile == "clean") {
+            assert_eq!(c.per, 0.0, "stack {} lost clean frames", c.stack);
+        }
+        // At 6 dB the RS stacks and the convolutional stack must beat the
+        // uncoded baseline, which loses most frames (~0.24% bit flips over
+        // a 992-bit frame ≈ 0.91 analytic PER; 20 frames leave slack).
+        let base = per_of("crc32", "awgn_snr6.0dB");
+        assert!(base > 0.6, "uncoded PER at 6 dB: {base}");
+        for stack in ["rs", "rs+il16", "conv_k7+crc32"] {
+            assert!(
+                per_of(stack, "awgn_snr6.0dB") < base,
+                "{stack} must beat uncoded at 6 dB"
+            );
+        }
+        // No stack ever silently delivers a wrong payload in this sweep.
+        for c in &report.cells {
+            assert_eq!(
+                c.wrong_payload, 0,
+                "{}/{} silent corruption",
+                c.stack, c.profile
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_points_are_pareto_optimal() {
+        let cfg = CampaignConfig::reduced();
+        let report = CampaignReport::run(&cfg, &Pool::new(Jobs::of(1)));
+        for (scenario, profile) in report.groups() {
+            let points = report.frontier(&scenario, &profile);
+            assert!(!points.is_empty());
+            for w in points.windows(2) {
+                assert!(w[0].overhead <= w[1].overhead);
+                assert!(
+                    w[1].per < w[0].per,
+                    "{scenario}/{profile}: non-improving frontier point"
+                );
+            }
+        }
+    }
+}

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec_lab;
+
 /// Standard sweep of power budgets used by the figure binaries, in watts:
 /// 0.15 W steps up to the full-array 2.7 W.
 pub fn budget_sweep() -> Vec<f64> {

@@ -1,0 +1,86 @@
+//! End-to-end tests of the `codec_campaign` binary: the report is
+//! byte-identical at any `DENSEVLC_JOBS`, and the obs stream it writes
+//! passes `obs_check --expect-summary`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("densevlc-codec-campaign-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn campaign(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_codec_campaign"))
+        .args(args)
+        .env_remove("DENSEVLC_JOBS")
+        .output()
+        .expect("codec_campaign runs")
+}
+
+#[test]
+fn report_is_byte_identical_across_worker_counts() {
+    let serial = campaign(&["--reduced", "--jobs", "1"]);
+    assert!(serial.status.success(), "{serial:?}");
+    let max = campaign(&["--reduced", "--jobs", "max"]);
+    assert!(max.status.success(), "{max:?}");
+    assert_eq!(
+        serial.stdout, max.stdout,
+        "campaign report must not depend on the worker count"
+    );
+    // Sanity: it is the campaign schema and covers the full reduced grid.
+    let text = String::from_utf8(serial.stdout).unwrap();
+    assert!(text.starts_with("{\"schema\":\"densevlc-codec-campaign/1\""));
+    assert_eq!(
+        text.matches("\"payload_len\":").count(),
+        20,
+        "4 stacks × 5 profiles"
+    );
+    assert!(text.ends_with("]}\n"));
+}
+
+#[test]
+fn out_file_matches_stdout_and_obs_stream_validates() {
+    let report = tmp("frontier.json");
+    let stream = tmp("codec.ndjson");
+    let out = campaign(&[
+        "--reduced",
+        "--jobs",
+        "2",
+        "--out",
+        report.to_str().unwrap(),
+        "--obs-stream",
+        stream.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let via_file = std::fs::read(&report).expect("report written");
+    let via_stdout = campaign(&["--reduced", "--jobs", "2"]).stdout;
+    assert_eq!(
+        via_file, via_stdout,
+        "--out must write the exact stdout bytes"
+    );
+
+    let check = Command::new(env!("CARGO_BIN_EXE_obs_check"))
+        .arg(&stream)
+        .arg("--expect-summary")
+        .output()
+        .expect("obs_check runs");
+    assert!(
+        check.status.success(),
+        "obs stream failed validation: {}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    // One job record per sweep cell, in cell order.
+    let text = std::fs::read_to_string(&stream).unwrap();
+    assert_eq!(text.matches("\"type\":\"job\"").count(), 20);
+    assert!(text.contains("rs/paper/clean"));
+    assert!(text.contains("crc32/paper/trunc_p0.25_k0.9"));
+}
+
+#[test]
+fn rejects_unknown_arguments() {
+    let out = campaign(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}

@@ -23,10 +23,11 @@ use serde::{Deserialize, Serialize};
 use vlc_channel::{AwgnChannel, NoiseParams};
 use vlc_led::power::optical_swing_amplitude;
 use vlc_led::LedParams;
+use vlc_phy::codec::RsStack;
 use vlc_phy::frame::{protocol, Frame, FrameError, FrameHeader};
 use vlc_phy::manchester::{manchester_decode, manchester_encode, Chip};
 use vlc_phy::packed::{packed_encode, PackedChips};
-use vlc_phy::rs::{ReedSolomon, RsCodec};
+use vlc_phy::rs::ReedSolomon;
 use vlc_phy::waveform::{
     correlate_pattern, correlate_template, mix_into, render, render_packed_into, slice_chips,
     slice_chips_packed_into, template_energy, WaveformConfig,
@@ -328,18 +329,23 @@ pub fn run_scalar_instrumented(
 /// The packed-chip fast path through the end-to-end simulation.
 ///
 /// Owns every buffer the per-frame PHY cycle needs — the hoisted preamble
-/// template, a reusable [`RsCodec`] workspace, packed chip streams, and the
-/// waveform/photocurrent/decode scratch — so that a warmed pipeline runs
-/// frames (and ARQ retries) with **zero heap allocations** in steady state
-/// (`crates/densevlc/tests/e2e_identity.rs` pins this with a counting
-/// allocator). Its output is bit-identical to the scalar reference
-/// ([`run_scalar_instrumented`], [`run_concurrent_scalar`]): identical RNG
-/// draw order, identical float summation order, identical slicing
-/// predicates — so [`E2eResult`] matches exactly, not just statistically.
+/// template, the FEC stack (the paper's Manchester+RS path as a
+/// [`vlc_phy::codec::CodecStack`], routed through
+/// [`Frame::encode_parts_with`] / [`Frame::decode_parts_with`]), packed
+/// chip streams, and the waveform/photocurrent/decode scratch — so that a
+/// warmed pipeline runs frames (and ARQ retries) with **zero heap
+/// allocations** in steady state (`crates/densevlc/tests/e2e_identity.rs`
+/// pins this with a counting allocator). Its output is bit-identical to
+/// the scalar reference ([`run_scalar_instrumented`],
+/// [`run_concurrent_scalar`]): identical RNG draw order, identical float
+/// summation order, identical slicing predicates — so [`E2eResult`]
+/// matches exactly, not just statistically (and the trait refactor is
+/// pinned against hard-coded pre-refactor values by
+/// `pipeline_results_are_pinned_to_pre_codec_stack_values`).
 #[derive(Debug)]
 pub struct FramePipeline {
     wave_cfg: WaveformConfig,
-    codec: RsCodec,
+    stack: RsStack,
     /// The preamble rendered at unit amplitude, zero delay — exactly the
     /// template `correlate_pattern` re-renders per call on the scalar path.
     preamble_template: Vec<f64>,
@@ -353,7 +359,6 @@ pub struct FramePipeline {
     wave: Vec<f64>,
     sliced: PackedChips,
     rx_bytes: Vec<u8>,
-    coded: Vec<u8>,
     payload_rx: Vec<u8>,
     // Per-run scratch.
     hosts: Vec<usize>,
@@ -391,7 +396,7 @@ impl FramePipeline {
         let preamble_energy = template_energy(&preamble_template);
         FramePipeline {
             wave_cfg,
-            codec: RsCodec::paper(),
+            stack: RsStack::paper(),
             preamble_template,
             preamble_energy,
             payload: Vec::new(),
@@ -402,7 +407,6 @@ impl FramePipeline {
             wave: Vec::new(),
             sliced: PackedChips::new(),
             rx_bytes: Vec::new(),
-            coded: Vec::new(),
             payload_rx: Vec::new(),
             hosts: Vec::new(),
             loop_phase: Vec::new(),
@@ -446,7 +450,7 @@ impl FramePipeline {
         let (_, pre) = preamble();
         let Self {
             wave_cfg,
-            codec,
+            stack,
             preamble_template,
             preamble_energy,
             payload,
@@ -457,7 +461,6 @@ impl FramePipeline {
             wave,
             sliced,
             rx_bytes,
-            coded,
             payload_rx,
             hosts,
             loop_phase,
@@ -475,9 +478,8 @@ impl FramePipeline {
 
         // Same persistent loop-phase model (and RNG draws) as the scalar
         // reference: one uniform phase per host, relative to the earliest.
-        let chips_per_frame = (Frame::wire_len(cfg.payload_len, codec.reference())
-            + PREAMBLE_BYTES.len()) as f64
-            * 16.0;
+        let chips_per_frame =
+            (Frame::wire_len_with(cfg.payload_len, stack) + PREAMBLE_BYTES.len()) as f64 * 16.0;
         let frame_duration_s = chips_per_frame / cfg.symbol_rate_hz;
         loop_phase.clear();
         if matches!(scheme, SyncScheme::SyncOff) && hosts.len() > 1 {
@@ -512,7 +514,7 @@ impl FramePipeline {
                 }
                 telemetry.counter("phy.frames_encoded").inc();
                 wire.clear();
-                Frame::encode_parts_into(u64::MAX, &header, payload, codec, wire);
+                Frame::encode_parts_with(u64::MAX, &header, payload, stack, wire);
                 mac_tx.clear();
                 mac_tx.encode_bytes(wire);
                 tx_chips.clear();
@@ -588,7 +590,7 @@ impl FramePipeline {
             }
             let parsed = {
                 let _rs_block = telemetry.span("phy.rs.block_s");
-                Frame::decode_parts_into(rx_bytes, codec, coded, payload_rx)
+                Frame::decode_parts_with(rx_bytes, stack, payload_rx)
             };
             match parsed {
                 Ok((_, _, fixed)) => {
@@ -655,7 +657,7 @@ impl FramePipeline {
         let (_, pre) = preamble();
         let Self {
             wave_cfg,
-            codec,
+            stack,
             preamble_template,
             preamble_energy,
             wire,
@@ -663,7 +665,6 @@ impl FramePipeline {
             wave,
             sliced,
             rx_bytes,
-            coded,
             payload_rx,
             spot_payloads,
             spot_mac,
@@ -708,7 +709,7 @@ impl FramePipeline {
                     payload.push(rng.gen());
                 }
                 wire.clear();
-                Frame::encode_parts_into(u64::MAX, &header, payload, codec, wire);
+                Frame::encode_parts_with(u64::MAX, &header, payload, stack, wire);
                 spot_wire_lens[i] = wire.len();
                 let mac = &mut spot_mac[i];
                 mac.clear();
@@ -777,9 +778,7 @@ impl FramePipeline {
                 if !sliced.decode_bytes_into(rx_bytes) {
                     continue;
                 }
-                if let Ok((_, _, fixed)) =
-                    Frame::decode_parts_into(rx_bytes, codec, coded, payload_rx)
-                {
+                if let Ok((_, _, fixed)) = Frame::decode_parts_with(rx_bytes, stack, payload_rx) {
                     if *payload_rx == spot_payloads[b] {
                         spot_frames_ok[b] += 1;
                         spot_rs_corrections[b] += fixed;

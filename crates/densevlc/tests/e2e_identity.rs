@@ -82,6 +82,97 @@ fn warmed_pipeline_runs_frames_with_zero_allocations() {
 }
 
 #[test]
+fn pipeline_results_are_pinned_to_pre_codec_stack_values() {
+    // Exact values captured from the pipeline BEFORE the CodecStack trait
+    // refactor routed it through `Frame::encode_parts_with` /
+    // `Frame::decode_parts_with`: the paper's Manchester+RS path behind the
+    // trait must stay bit-identical to the historical code, not just
+    // statistically close. Any drift in RNG draw order, RS behavior, or
+    // float arithmetic shows up here as an exact-value mismatch.
+    use densevlc::e2e::{run, E2eResult};
+    use vlc_testbed::{BbbHostMap, Deployment};
+
+    let cfg = E2eConfig::default();
+    let d = Deployment::testbed(&[(1.0, 0.5)]);
+    let g7 = d.model.channel.gain(7, 0);
+    let hosts = BbbHostMap::paper();
+    let two = txs();
+    let marginal = vec![E2eTx {
+        gain: g7 * 0.040,
+        host: hosts.host_of(7),
+    }];
+    let cliff = vec![E2eTx {
+        gain: g7 * 0.042,
+        host: hosts.host_of(7),
+    }];
+    let weak = vec![E2eTx {
+        gain: 1e-12,
+        host: 0,
+    }];
+    let cases: [(&str, &[E2eTx], u64, usize, E2eResult); 4] = [
+        (
+            "clean",
+            &two,
+            40,
+            8,
+            E2eResult {
+                frames_total: 8,
+                frames_ok: 8,
+                per: 0.0,
+                goodput_bps: 33698.39932603201,
+                rs_corrections: 0,
+            },
+        ),
+        (
+            "marginal",
+            &marginal,
+            202,
+            16,
+            E2eResult {
+                frames_total: 16,
+                frames_ok: 11,
+                per: 0.3125,
+                goodput_bps: 23167.649536647008,
+                rs_corrections: 0,
+            },
+        ),
+        (
+            "cliff",
+            &cliff,
+            202,
+            16,
+            E2eResult {
+                frames_total: 16,
+                frames_ok: 12,
+                per: 0.25,
+                goodput_bps: 25273.79949452401,
+                rs_corrections: 0,
+            },
+        ),
+        (
+            "weak",
+            &weak,
+            6,
+            4,
+            E2eResult {
+                frames_total: 4,
+                frames_ok: 0,
+                per: 1.0,
+                goodput_bps: 0.0,
+                rs_corrections: 0,
+            },
+        ),
+    ];
+    for (name, txs, seed, frames, expected) in cases {
+        let got = run(txs, &SyncScheme::SyncOff, &cfg, frames, seed);
+        assert_eq!(
+            got, expected,
+            "case {name} drifted from pre-refactor output"
+        );
+    }
+}
+
+#[test]
 fn warmed_pipeline_single_frame_retries_are_zero_alloc() {
     // The ARQ pattern: many one-frame runs through one pipeline.
     let cfg = E2eConfig::default();

@@ -1,0 +1,353 @@
+//! Convolutional coding with hard-decision Viterbi decoding.
+//!
+//! The codec lab's rate-1/2 alternative to the paper's Reed–Solomon block
+//! code: the classic constraint-length-7 code with generators `0o171` and
+//! `0o133` (the NASA/CCSDS "Voyager" polynomials, free distance 10). The
+//! encoder shifts message bits MSB-first through a 7-bit register and emits
+//! two coded bits per message bit; six zero bits flush the register so the
+//! trellis ends in state 0. The decoder is a 64-state hard-decision Viterbi:
+//! add-compare-select over per-step Hamming branch metrics, one survivor
+//! bit per state per step, traceback from the flushed zero state.
+//!
+//! Two implementations, following the repo's twin discipline:
+//! [`conv_encode`] / [`viterbi_decode`] allocate per call and serve as the
+//! reference; [`ConvWorkspace`] reuses its survivor storage so a warmed
+//! instance encodes and decodes with zero heap allocations (proven by the
+//! counting-allocator test in `crates/phy/tests/zero_alloc.rs`), pinned
+//! equivalent to the reference by proptests below.
+
+/// Constraint length `K` (register holds the current bit plus 6 prior).
+pub const CONSTRAINT: usize = 7;
+/// First generator polynomial (`1111001`, taps on register bits 0,3,4,5,6).
+pub const G1: u32 = 0o171;
+/// Second generator polynomial (`1011011`).
+pub const G2: u32 = 0o133;
+/// Zero bits appended to return the trellis to state 0.
+pub const FLUSH_BITS: usize = CONSTRAINT - 1;
+
+const N_STATES: usize = 1 << FLUSH_BITS;
+const INF: u32 = u32::MAX / 2;
+
+/// Coded length in bytes for a `data_len`-byte message: every message bit
+/// plus the 6 flush bits produces 2 coded bits, packed MSB-first.
+pub const fn coded_len(data_len: usize) -> usize {
+    (2 * (8 * data_len + FLUSH_BITS)).div_ceil(8)
+}
+
+/// Reads bit `i` (MSB-first within each byte) of `bytes`.
+#[inline]
+fn bit(bytes: &[u8], i: usize) -> u8 {
+    (bytes[i >> 3] >> (7 - (i & 7))) & 1
+}
+
+/// The two coded bits for shift-register contents `sr` (7 bits, current
+/// message bit in bit 0).
+#[inline]
+fn branch_bits(sr: u32) -> (u8, u8) {
+    (
+        ((sr & G1).count_ones() & 1) as u8,
+        ((sr & G2).count_ones() & 1) as u8,
+    )
+}
+
+/// Encodes `data`, returning the coded bytes — allocating reference twin
+/// of [`ConvWorkspace::encode_into`].
+pub fn conv_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(coded_len(data.len()));
+    encode_append(data, &mut out);
+    out
+}
+
+/// The shared encoder body: appends the coded bytes of `data` to `out`.
+fn encode_append(data: &[u8], out: &mut Vec<u8>) {
+    let n_bits = 8 * data.len() + FLUSH_BITS;
+    let mut sr = 0u32;
+    let mut acc = 0u8;
+    let mut acc_bits = 0u8;
+    for i in 0..n_bits {
+        let b = if i < 8 * data.len() {
+            bit(data, i) as u32
+        } else {
+            0 // flush
+        };
+        sr = ((sr << 1) | b) & 0x7F;
+        let (c1, c2) = branch_bits(sr);
+        for c in [c1, c2] {
+            acc = (acc << 1) | c;
+            acc_bits += 1;
+            if acc_bits == 8 {
+                out.push(acc);
+                acc = 0;
+                acc_bits = 0;
+            }
+        }
+    }
+    if acc_bits > 0 {
+        out.push(acc << (8 - acc_bits));
+    }
+}
+
+/// Decodes `coded` back into a `data_len`-byte message, returning the
+/// message and the number of channel bit errors the survivor path absorbed
+/// (its Hamming distance to the received stream). Returns `None` when
+/// `coded` is not exactly [`coded_len`]`(data_len)` bytes — a truncated or
+/// overlong stream is detected, not guessed at.
+///
+/// Allocating reference twin of [`ConvWorkspace::decode_into`].
+pub fn viterbi_decode(coded: &[u8], data_len: usize) -> Option<(Vec<u8>, usize)> {
+    if coded.len() != coded_len(data_len) {
+        return None;
+    }
+    let steps = 8 * data_len + FLUSH_BITS;
+    let mut metric = vec![INF; N_STATES];
+    let mut next = vec![INF; N_STATES];
+    metric[0] = 0;
+    let mut survivors = vec![0u64; steps];
+    for (t, surv) in survivors.iter_mut().enumerate() {
+        let (r1, r2) = (bit(coded, 2 * t), bit(coded, 2 * t + 1));
+        acs_step(&metric, &mut next, surv, r1, r2);
+        std::mem::swap(&mut metric, &mut next);
+    }
+    let mut out = vec![0u8; data_len];
+    let corrected = traceback(&survivors, steps, data_len, &mut out, &metric);
+    Some((out, corrected))
+}
+
+/// One add-compare-select step: fills `next[ns]` from the two predecessors
+/// of each state and records the winning high predecessor bit in `surv`.
+#[inline]
+fn acs_step(metric: &[u32], next: &mut [u32], surv: &mut u64, r1: u8, r2: u8) {
+    for (ns, slot) in next.iter_mut().enumerate() {
+        let b = (ns & 1) as u32;
+        let low = ns >> 1;
+        let mut best = INF;
+        let mut best_p5 = 0u64;
+        for p5 in 0..2usize {
+            let p = low | (p5 << (FLUSH_BITS - 1));
+            let sr = ((p as u32) << 1) | b;
+            let (e1, e2) = branch_bits(sr);
+            let bm = u32::from(e1 != r1) + u32::from(e2 != r2);
+            let cand = metric[p].saturating_add(bm);
+            // Strict `<` keeps the tie on p5 = 0 — deterministic.
+            if cand < best {
+                best = cand;
+                best_p5 = p5 as u64;
+            }
+        }
+        *slot = best;
+        if best_p5 == 1 {
+            *surv |= 1 << ns;
+        }
+    }
+}
+
+/// Walks the survivor bits back from the flushed zero state, OR-ing the
+/// message bits into `out` (which must be `data_len` zeroed bytes starting
+/// at `out.len() - data_len`). Returns the best path metric.
+fn traceback(
+    survivors: &[u64],
+    steps: usize,
+    data_len: usize,
+    out: &mut [u8],
+    final_metric: &[u32],
+) -> usize {
+    let base = out.len() - data_len;
+    let mut state = 0usize;
+    for t in (0..steps).rev() {
+        let b = (state & 1) as u8;
+        if t < 8 * data_len && b == 1 {
+            out[base + (t >> 3)] |= 1 << (7 - (t & 7));
+        }
+        let p5 = (survivors[t] >> state) & 1;
+        state = (state >> 1) | ((p5 as usize) << (FLUSH_BITS - 1));
+    }
+    final_metric[0] as usize
+}
+
+/// A reusable encoder/decoder workspace: identical outputs to
+/// [`conv_encode`] / [`viterbi_decode`], with the survivor storage and
+/// path-metric buffers owned by the struct so a warmed instance runs
+/// allocation-free.
+#[derive(Debug, Clone)]
+pub struct ConvWorkspace {
+    survivors: Vec<u64>,
+    metric: [u32; N_STATES],
+    next: [u32; N_STATES],
+}
+
+impl Default for ConvWorkspace {
+    fn default() -> Self {
+        ConvWorkspace::new()
+    }
+}
+
+impl ConvWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        ConvWorkspace {
+            survivors: Vec::new(),
+            metric: [INF; N_STATES],
+            next: [INF; N_STATES],
+        }
+    }
+
+    /// Appends the coded bytes of `data` to `out` — zero-alloc once `out`
+    /// has capacity (the encoder itself never allocates).
+    pub fn encode_into(&mut self, data: &[u8], out: &mut Vec<u8>) {
+        encode_append(data, out);
+    }
+
+    /// Appends the decoded `data_len`-byte message to `out` and returns the
+    /// survivor path's corrected bit count; `None` when `coded` has the
+    /// wrong length. Zero-alloc once the survivor buffer and `out` are warm.
+    pub fn decode_into(
+        &mut self,
+        coded: &[u8],
+        data_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Option<usize> {
+        if coded.len() != coded_len(data_len) {
+            return None;
+        }
+        let steps = 8 * data_len + FLUSH_BITS;
+        self.survivors.clear();
+        self.survivors.resize(steps, 0);
+        self.metric = [INF; N_STATES];
+        self.metric[0] = 0;
+        for t in 0..steps {
+            let (r1, r2) = (bit(coded, 2 * t), bit(coded, 2 * t + 1));
+            acs_step(&self.metric, &mut self.next, &mut self.survivors[t], r1, r2);
+            std::mem::swap(&mut self.metric, &mut self.next);
+        }
+        let base = out.len();
+        out.resize(base + data_len, 0);
+        let corrected = traceback(
+            &self.survivors,
+            steps,
+            data_len,
+            &mut out[base..],
+            &self.metric,
+        );
+        Some(corrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn coded_len_formula() {
+        // 2·(8·len + 6) bits, byte-padded.
+        assert_eq!(coded_len(0), 2);
+        assert_eq!(coded_len(1), 4);
+        assert_eq!(coded_len(10), 22);
+        assert_eq!(coded_len(200), 402);
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        for len in [0usize, 1, 2, 7, 33, 200] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            let coded = conv_encode(&data);
+            assert_eq!(coded.len(), coded_len(len));
+            let (decoded, corrected) = viterbi_decode(&coded, len).expect("length ok");
+            assert_eq!(decoded, data, "len {len}");
+            assert_eq!(corrected, 0, "clean stream needed corrections");
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        // Free distance 10 ⇒ any 4 errors spaced beyond a constraint length
+        // are correctable; the decoder reports exactly how many it absorbed.
+        let data: Vec<u8> = (0..50u8).collect();
+        let mut coded = conv_encode(&data);
+        for &i in &[3usize, 40, 90, 150] {
+            coded[i >> 3] ^= 1 << (7 - (i & 7));
+        }
+        let (decoded, corrected) = viterbi_decode(&coded, 50).expect("length ok");
+        assert_eq!(decoded, data);
+        assert_eq!(corrected, 4);
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let coded = conv_encode(&[1, 2, 3]);
+        assert!(viterbi_decode(&coded[..coded.len() - 1], 3).is_none());
+        assert!(viterbi_decode(&coded, 4).is_none());
+        let mut ws = ConvWorkspace::new();
+        let mut out = Vec::new();
+        assert!(ws
+            .decode_into(&coded[..coded.len() - 1], 3, &mut out)
+            .is_none());
+        assert!(out.is_empty(), "failed decode must not emit bytes");
+    }
+
+    #[test]
+    fn dense_burst_overwhelms_the_code() {
+        // 30 consecutive flipped bits exceed any convolutional memory; the
+        // decode returns *something*, but not the message — the CRC layer
+        // above (see `codec::ConvStack`) is what detects this.
+        let data: Vec<u8> = (0..80u8).collect();
+        let mut coded = conv_encode(&data);
+        for i in 200..230usize {
+            coded[i >> 3] ^= 1 << (7 - (i & 7));
+        }
+        let (decoded, _) = viterbi_decode(&coded, 80).expect("length ok");
+        assert_ne!(decoded, data);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_workspace_matches_reference(
+            data in proptest::collection::vec(any::<u8>(), 0..=200),
+            err_seed in any::<u64>(),
+            n_err in 0usize..=6,
+        ) {
+            let clean = conv_encode(&data);
+            let mut ws = ConvWorkspace::new();
+            let mut ws_coded = Vec::new();
+            ws.encode_into(&data, &mut ws_coded);
+            prop_assert_eq!(&ws_coded, &clean);
+
+            // Equivalence must hold on corrupted streams too.
+            let mut coded = clean.clone();
+            let n_bits = 2 * (8 * data.len() + FLUSH_BITS);
+            let mut rng = StdRng::seed_from_u64(err_seed);
+            for _ in 0..n_err {
+                let i = rng.gen_range(0..n_bits);
+                coded[i >> 3] ^= 1 << (7 - (i & 7));
+            }
+            let reference = viterbi_decode(&coded, data.len()).expect("length ok");
+            let mut ws_out = Vec::new();
+            let corrected = ws.decode_into(&coded, data.len(), &mut ws_out).expect("length ok");
+            prop_assert_eq!((ws_out, corrected), reference);
+        }
+
+        #[test]
+        fn prop_sparse_errors_roundtrip(
+            data in proptest::collection::vec(any::<u8>(), 1..=64),
+            err_seed in any::<u64>(),
+        ) {
+            // Up to 3 errors, each in a distinct 32-bit stretch: safely
+            // within the free-distance budget.
+            let mut coded = conv_encode(&data);
+            let n_bits = 2 * (8 * data.len() + FLUSH_BITS);
+            let mut rng = StdRng::seed_from_u64(err_seed);
+            let mut flipped = 0usize;
+            for chunk_start in (0..n_bits).step_by(96).take(3) {
+                let span = 32.min(n_bits - chunk_start);
+                let i = chunk_start + rng.gen_range(0..span);
+                coded[i >> 3] ^= 1 << (7 - (i & 7));
+                flipped += 1;
+            }
+            let (decoded, corrected) = viterbi_decode(&coded, data.len()).expect("length ok");
+            prop_assert_eq!(decoded, data);
+            prop_assert_eq!(corrected, flipped);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! CRC-32 (IEEE 802.3) integrity checks.
+//!
+//! The codec lab's detect-only baseline and the convolutional stack both
+//! close their frames with the ubiquitous reflected CRC-32 (polynomial
+//! `0xEDB88320`, init and final XOR `0xFFFFFFFF` — the Ethernet / zlib
+//! variant). Two implementations live here: a table-driven fast path and a
+//! bitwise reference, pinned equivalent by a proptest, mirroring the
+//! repo's twin-implementation discipline.
+
+/// Length of the serialized checksum in bytes.
+pub const CRC_LEN: usize = 4;
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 of `data` (table-driven).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Bit-at-a-time reference implementation of [`crc32`].
+pub fn crc32_bitwise(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for this CRC variant.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flips_are_detected() {
+        let data = b"densevlc codec lab";
+        let clean = crc32(data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.to_vec();
+                corrupt[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), clean, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_table_matches_bitwise(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+            prop_assert_eq!(crc32(&data), crc32_bitwise(&data));
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! portion — SFD (1 B), Length (2 B), Dst (2 B), Src (2 B), Protocol (2 B),
 //! the payload, and `⌈x/200⌉ × 16` Reed–Solomon parity bytes.
 
+use crate::codec::{CodecError, CodecStack, Correction};
 use crate::rs::{ReedSolomon, RsCodec, RsError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -65,6 +66,15 @@ impl std::error::Error for FrameError {}
 
 impl From<RsError> for FrameError {
     fn from(_: RsError) -> Self {
+        FrameError::Uncorrectable
+    }
+}
+
+impl From<CodecError> for FrameError {
+    // The frame layer validates the coded region's length before handing
+    // it to the stack, so a surviving stack error — either variant — means
+    // the payload could not be recovered.
+    fn from(_: CodecError) -> Self {
         FrameError::Uncorrectable
     }
 }
@@ -183,14 +193,14 @@ impl Frame {
     /// fields precede it; the 8-byte TX mask comes first).
     pub const FIXED_LEN: usize = 8 + 1 + 2 + 2 + 2 + 2;
 
-    /// Serializes a frame's parts into `out` (appended) through a reusable
-    /// [`RsCodec`] — the zero-alloc twin of [`Frame::to_bytes`], producing
-    /// byte-identical wire bytes without owning a [`Frame`].
-    pub fn encode_parts_into(
+    /// Serializes a frame's parts into `out` (appended) through any
+    /// [`CodecStack`] — the generic zero-alloc twin of [`Frame::to_bytes`]:
+    /// same fixed header, with the payload region coded by the stack.
+    pub fn encode_parts_with<S: CodecStack + ?Sized>(
         tx_id_mask: u64,
         header: &FrameHeader,
         payload: &[u8],
-        codec: &mut RsCodec,
+        stack: &mut S,
         out: &mut Vec<u8>,
     ) {
         assert!(
@@ -203,19 +213,18 @@ impl Frame {
         out.extend_from_slice(&header.dst.to_be_bytes());
         out.extend_from_slice(&header.src.to_be_bytes());
         out.extend_from_slice(&header.protocol.to_be_bytes());
-        codec.encode_payload_into(payload, out);
+        stack.encode_into(payload, out);
     }
 
-    /// Parses and error-corrects a wire stream into caller-owned buffers —
-    /// the zero-alloc twin of [`Frame::from_bytes`]: identical field
-    /// decoding, identical errors, and the corrected payload lands in
-    /// `payload_out` (cleared first; `coded_scratch` holds the working
-    /// copy of the RS region). Returns the TX mask, header, and corrected
-    /// byte count.
-    pub fn decode_parts_into(
+    /// Parses a wire stream through any [`CodecStack`] — the generic
+    /// zero-alloc twin of [`Frame::from_bytes`]: identical field decoding
+    /// and errors, with the coded region's length validated against
+    /// [`CodecStack::encoded_len`] before the stack decodes it into
+    /// `payload_out` (cleared first). Returns the TX mask, header, and
+    /// corrected symbol count.
+    pub fn decode_parts_with<S: CodecStack + ?Sized>(
         bytes: &[u8],
-        codec: &mut RsCodec,
-        coded_scratch: &mut Vec<u8>,
+        stack: &mut S,
         payload_out: &mut Vec<u8>,
     ) -> Result<(u64, FrameHeader, usize), FrameError> {
         payload_out.clear();
@@ -230,8 +239,7 @@ impl Frame {
         let dst = u16::from_be_bytes([bytes[11], bytes[12]]);
         let src = u16::from_be_bytes([bytes[13], bytes[14]]);
         let protocol = u16::from_be_bytes([bytes[15], bytes[16]]);
-        let n_chunks = payload_len.div_ceil(crate::rs::PAPER_CHUNK);
-        let coded_len = payload_len + n_chunks * codec.parity_len();
+        let coded_len = stack.encoded_len(payload_len);
         let available = bytes.len() - Self::FIXED_LEN;
         if available != coded_len {
             return Err(FrameError::LengthMismatch {
@@ -239,11 +247,46 @@ impl Frame {
                 available,
             });
         }
-        coded_scratch.clear();
-        coded_scratch.extend_from_slice(&bytes[Self::FIXED_LEN..]);
-        let corrected = codec.decode_payload_in_place(coded_scratch, payload_len)?;
-        codec.extract_payload_into(coded_scratch, payload_len, payload_out);
+        let corrected = stack.decode_into(&bytes[Self::FIXED_LEN..], payload_len, payload_out)?;
         Ok((tx_id_mask, FrameHeader { dst, src, protocol }, corrected))
+    }
+
+    /// Serializes a frame's parts into `out` (appended) through a reusable
+    /// [`RsCodec`] — the zero-alloc twin of [`Frame::to_bytes`], producing
+    /// byte-identical wire bytes without owning a [`Frame`]. Routed through
+    /// [`Frame::encode_parts_with`] over the RS stack adapter.
+    pub fn encode_parts_into(
+        tx_id_mask: u64,
+        header: &FrameHeader,
+        payload: &[u8],
+        codec: &mut RsCodec,
+        out: &mut Vec<u8>,
+    ) {
+        let mut stack = RsParts {
+            codec,
+            scratch: None,
+        };
+        Frame::encode_parts_with(tx_id_mask, header, payload, &mut stack, out);
+    }
+
+    /// Parses and error-corrects a wire stream into caller-owned buffers —
+    /// the zero-alloc twin of [`Frame::from_bytes`]: identical field
+    /// decoding, identical errors, and the corrected payload lands in
+    /// `payload_out` (cleared first; `coded_scratch` holds the working
+    /// copy of the RS region). Returns the TX mask, header, and corrected
+    /// byte count. Routed through [`Frame::decode_parts_with`] over the RS
+    /// stack adapter.
+    pub fn decode_parts_into(
+        bytes: &[u8],
+        codec: &mut RsCodec,
+        coded_scratch: &mut Vec<u8>,
+        payload_out: &mut Vec<u8>,
+    ) -> Result<(u64, FrameHeader, usize), FrameError> {
+        let mut stack = RsParts {
+            codec,
+            scratch: Some(coded_scratch),
+        };
+        Frame::decode_parts_with(bytes, &mut stack, payload_out)
     }
 
     /// [`Self::to_bytes`] with telemetry: counts the frame into
@@ -289,6 +332,77 @@ impl Frame {
     pub fn wire_len(payload_len: usize, rs: &ReedSolomon) -> usize {
         let n_chunks = payload_len.div_ceil(crate::rs::PAPER_CHUNK);
         8 + 1 + 2 + 2 + 2 + 2 + payload_len + n_chunks * rs.parity_len()
+    }
+
+    /// [`Frame::wire_len`] for any [`CodecStack`]: fixed header plus the
+    /// stack's coded length.
+    pub fn wire_len_with<S: CodecStack + ?Sized>(payload_len: usize, stack: &S) -> usize {
+        Self::FIXED_LEN + stack.encoded_len(payload_len)
+    }
+}
+
+/// The historical RS parts path as a [`CodecStack`]: borrows the caller's
+/// [`RsCodec`] and (for decode) external coded scratch, so
+/// [`Frame::encode_parts_into`] / [`Frame::decode_parts_into`] keep their
+/// exact signatures and buffer contracts while running on the same generic
+/// code as every other stack.
+struct RsParts<'a> {
+    codec: &'a mut RsCodec,
+    /// Working copy of the coded region; `None` on the encode-only path.
+    scratch: Option<&'a mut Vec<u8>>,
+}
+
+impl CodecStack for RsParts<'_> {
+    fn name(&self) -> &str {
+        "rs"
+    }
+
+    fn encoded_len(&self, payload_len: usize) -> usize {
+        let n_chunks = payload_len.div_ceil(crate::rs::PAPER_CHUNK);
+        payload_len + n_chunks * self.codec.parity_len()
+    }
+
+    fn correction(&self) -> Correction {
+        let t = self.codec.correction_capacity();
+        Correction {
+            t_per_block: t,
+            block_len: crate::rs::PAPER_CHUNK + self.codec.parity_len(),
+            burst_tolerance: t,
+        }
+    }
+
+    fn encode_into(&mut self, payload: &[u8], out: &mut Vec<u8>) {
+        self.codec.encode_payload_into(payload, out);
+    }
+
+    fn decode_into(
+        &mut self,
+        coded: &[u8],
+        payload_len: usize,
+        payload_out: &mut Vec<u8>,
+    ) -> Result<usize, CodecError> {
+        let scratch = self
+            .scratch
+            .as_deref_mut()
+            .expect("decode requires coded scratch");
+        scratch.clear();
+        scratch.extend_from_slice(coded);
+        let corrected = self.codec.decode_payload_in_place(scratch, payload_len)?;
+        self.codec
+            .extract_payload_into(scratch, payload_len, payload_out);
+        Ok(corrected)
+    }
+
+    fn encode_ref(&self, payload: &[u8]) -> Vec<u8> {
+        self.codec.reference().encode_payload(payload)
+    }
+
+    fn decode_ref(&self, coded: &[u8], payload_len: usize) -> Result<(Vec<u8>, usize), CodecError> {
+        let mut buf = coded.to_vec();
+        Ok(self
+            .codec
+            .reference()
+            .decode_payload(&mut buf, payload_len)?)
     }
 }
 

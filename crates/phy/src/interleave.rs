@@ -39,6 +39,42 @@ impl Interleaver {
         self.permute(data, true)
     }
 
+    /// Appends the interleaving of `data` to `out` — zero-alloc twin of
+    /// [`Interleaver::interleave`] once `out` has capacity.
+    pub fn interleave_into(&self, data: &[u8], out: &mut Vec<u8>) {
+        self.permute_into(data, false, out)
+    }
+
+    /// Appends the deinterleaving of `data` to `out` — zero-alloc twin of
+    /// [`Interleaver::deinterleave`].
+    pub fn deinterleave_into(&self, data: &[u8], out: &mut Vec<u8>) {
+        self.permute_into(data, true, out)
+    }
+
+    /// [`Interleaver::permute`] writing into a caller buffer (appended).
+    fn permute_into(&self, data: &[u8], invert: bool, out: &mut Vec<u8>) {
+        let d = self.depth;
+        if d == 1 || data.len() < 2 * d {
+            out.extend_from_slice(data);
+            return;
+        }
+        let width = data.len() / d;
+        let body = width * d;
+        let base = out.len();
+        out.resize(base + data.len(), 0);
+        let block = &mut out[base..];
+        for i in 0..body {
+            let (row, col) = (i / width, i % width);
+            let j = col * d + row;
+            if invert {
+                block[i] = data[j];
+            } else {
+                block[j] = data[i];
+            }
+        }
+        block[body..].copy_from_slice(&data[body..]);
+    }
+
     /// Row-wise write, column-wise read over a `depth × width` matrix of
     /// the longest full block; leftover bytes pass through in place.
     fn permute(&self, data: &[u8], invert: bool) -> Vec<u8> {
@@ -167,6 +203,23 @@ mod tests {
             let shuffled = il.interleave(&data);
             prop_assert_eq!(shuffled.len(), data.len());
             prop_assert_eq!(il.deinterleave(&shuffled), data);
+        }
+
+        #[test]
+        fn prop_into_twins_match_allocating(
+            data in proptest::collection::vec(any::<u8>(), 0..600),
+            depth in 1usize..12,
+            prefix in proptest::collection::vec(any::<u8>(), 0..8),
+        ) {
+            // The `_into` twins append after any existing prefix and must
+            // reproduce the allocating implementations byte for byte.
+            let il = Interleaver::new(depth);
+            let mut fwd = prefix.clone();
+            il.interleave_into(&data, &mut fwd);
+            prop_assert_eq!(&fwd[prefix.len()..], &il.interleave(&data)[..]);
+            let mut rev = prefix.clone();
+            il.deinterleave_into(&data, &mut rev);
+            prop_assert_eq!(&rev[prefix.len()..], &il.deinterleave(&data)[..]);
         }
 
         #[test]

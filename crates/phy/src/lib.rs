@@ -24,10 +24,18 @@
 //!   DCO-OFDM modem for intensity-modulated VLC.
 //! * [`interleave`] — a block interleaver diluting channel bursts across
 //!   Reed–Solomon chunks.
+//! * [`codec`] — the pluggable [`codec::CodecStack`] trait the frame
+//!   pipeline runs on, with the stock stack catalogue (paper RS,
+//!   interleaved RS, convolutional+CRC, CRC-only baseline).
+//! * [`conv`] + [`crc`] — the primitives behind the alternative stacks: a
+//!   K=7 rate-1/2 convolutional code with Viterbi decoding, and CRC-32.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
+pub mod conv;
+pub mod crc;
 pub mod fft;
 pub mod frame;
 pub mod frontend;
@@ -40,8 +48,9 @@ pub mod rs;
 pub mod snr;
 pub mod waveform;
 
+pub use codec::{CodecError, CodecStack, Correction, CrcStack, InterleavedRsStack, RsStack};
 pub use frame::{Frame, FrameError, FrameHeader};
 pub use manchester::{manchester_decode, manchester_encode, Chip};
 pub use packed::{packed_decode, packed_encode, PackedChips};
-pub use rs::{ReedSolomon, RsCodec, RsError};
+pub use rs::{ReedSolomon, RsCodec, RsError, RsParams};
 pub use snr::m2m4_snr;

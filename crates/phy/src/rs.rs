@@ -12,9 +12,35 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The paper's parity budget: 16 bytes per chunk.
-pub const PAPER_PARITY: usize = 16;
+pub const PAPER_PARITY: usize = RsParams::PAPER.nroots;
 /// The paper's chunk size: 200 payload bytes.
-pub const PAPER_CHUNK: usize = 200;
+pub const PAPER_CHUNK: usize = RsParams::PAPER.chunk;
+
+/// A Reed–Solomon parameter set: the single definition that every paper
+/// constructor ([`ReedSolomon::paper`], [`RsCodec::paper`]) builds from,
+/// so the Table 3 constants cannot drift apart (pinned by
+/// `paper_constructors_share_one_definition`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RsParams {
+    /// Parity symbols appended to each chunk.
+    pub nroots: usize,
+    /// Payload bytes per chunk.
+    pub chunk: usize,
+}
+
+impl RsParams {
+    /// The paper's RS(216, 200): 16 parity bytes per 200-byte chunk, t = 8.
+    pub const PAPER: RsParams = RsParams {
+        nroots: 16,
+        chunk: 200,
+    };
+
+    /// Coded length of the chunked-payload layout: every ≤ `chunk`-byte
+    /// piece carries `nroots` parity bytes.
+    pub const fn coded_len(&self, payload_len: usize) -> usize {
+        payload_len + payload_len.div_ceil(self.chunk) * self.nroots
+    }
+}
 
 /// Errors surfaced by the decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,9 +105,10 @@ impl ReedSolomon {
         }
     }
 
-    /// The paper's RS(216, 200) configuration (t = 8).
+    /// The paper's RS(216, 200) configuration (t = 8), built from
+    /// [`RsParams::PAPER`].
     pub fn paper() -> Self {
-        ReedSolomon::new(PAPER_PARITY)
+        ReedSolomon::new(RsParams::PAPER.nroots)
     }
 
     /// Number of parity symbols.
@@ -391,9 +418,10 @@ impl RsCodec {
         }
     }
 
-    /// The paper's RS(216, 200) workspace (t = 8).
+    /// The paper's RS(216, 200) workspace (t = 8), built from
+    /// [`RsParams::PAPER`] — the same definition as [`ReedSolomon::paper`].
     pub fn paper() -> Self {
-        RsCodec::new(PAPER_PARITY)
+        RsCodec::new(RsParams::PAPER.nroots)
     }
 
     /// Number of parity symbols.
@@ -629,6 +657,30 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn paper_constructors_share_one_definition() {
+        // Both paper constructors must flow from RsParams::PAPER: same
+        // parity budget, same correction capacity, identical generator
+        // behavior (byte-identical encodings), and the legacy constants
+        // must alias the shared definition.
+        let rs = ReedSolomon::paper();
+        let mut codec = RsCodec::paper();
+        assert_eq!(rs.parity_len(), RsParams::PAPER.nroots);
+        assert_eq!(codec.parity_len(), RsParams::PAPER.nroots);
+        assert_eq!(rs.correction_capacity(), RsParams::PAPER.nroots / 2);
+        assert_eq!(codec.correction_capacity(), rs.correction_capacity());
+        assert_eq!(PAPER_PARITY, RsParams::PAPER.nroots);
+        assert_eq!(PAPER_CHUNK, RsParams::PAPER.chunk);
+        let data: Vec<u8> = (0..200u8).collect();
+        let mut out = Vec::new();
+        codec.encode_into(&data, &mut out);
+        assert_eq!(out, rs.encode(&data));
+        assert_eq!(
+            RsParams::PAPER.coded_len(517),
+            rs.encode_payload(&vec![0u8; 517]).len()
+        );
+    }
 
     #[test]
     fn encode_is_systematic() {

@@ -8,8 +8,9 @@
 //! shim here.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
+use vlc_phy::codec::registry;
 use vlc_phy::packed::{packed_encode, PackedChips};
 use vlc_phy::rs::RsCodec;
 use vlc_phy::waveform::{
@@ -20,11 +21,25 @@ use vlc_phy::{Frame, FrameHeader};
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+// Per-thread counter: tests run on parallel harness threads, and the
+// harness itself allocates (thread spawning, output capture, completion
+// channels). A process-global counter picks up that noise; a thread-local
+// one attributes every allocation to the thread that made it. The
+// const-initialised `Cell<u64>` has no lazy initialiser and no destructor,
+// so touching it from inside the allocator cannot recurse.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // TLS is briefly unavailable during thread teardown; allocations there
+    // belong to the runtime, never to a measurement window.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc(layout)
     }
 
@@ -33,7 +48,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -41,11 +56,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Runs `f` and returns how many heap allocations it performed.
+/// Runs `f` and returns how many heap allocations this thread performed.
 fn allocations_during(f: impl FnOnce()) -> u64 {
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = ALLOCS.with(|c| c.get());
     f();
-    ALLOCS.load(Ordering::Relaxed) - before
+    ALLOCS.with(|c| c.get()) - before
 }
 
 #[test]
@@ -71,6 +86,80 @@ fn warmed_rs_codec_is_zero_alloc() {
         }
     });
     assert_eq!(n, 0, "warmed RsCodec made {n} heap allocations");
+}
+
+#[test]
+fn warmed_codec_stacks_are_zero_alloc() {
+    // Every stack in the registry: after one warm-up encode/decode cycle
+    // (which sizes the stack-owned scratch and the caller buffers), further
+    // frames — clean and corrupted — allocate nothing.
+    for stack in registry().iter_mut() {
+        let payload: Vec<u8> = (0..200u16).map(|i| (i * 11 + 5) as u8).collect();
+        let mut coded = Vec::new();
+        let mut out = Vec::new();
+
+        stack.encode_into(&payload, &mut coded);
+        stack
+            .decode_into(&coded, payload.len(), &mut out)
+            .expect("clean warm-up decodes");
+        assert_eq!(out, payload);
+
+        // Warm the error path too: the RS correction scratch (syndromes,
+        // error locator) only reaches capacity on the first real fix-up.
+        coded.clear();
+        stack.encode_into(&payload, &mut coded);
+        coded[7] ^= 0x24;
+        out.clear();
+        let _ = stack.decode_into(&coded, payload.len(), &mut out);
+
+        let n = allocations_during(|| {
+            for round in 0..16u8 {
+                coded.clear();
+                stack.encode_into(&payload, &mut coded);
+                // Alternate clean frames with single-byte corruption; the
+                // detect-only stacks reject the corrupted rounds, the FEC
+                // stacks repair them — all without allocating.
+                if round % 2 == 1 {
+                    let pos = (round as usize * 37) % coded.len();
+                    coded[pos] ^= 0x24;
+                }
+                out.clear();
+                let _ = stack.decode_into(&coded, payload.len(), &mut out);
+            }
+        });
+        assert_eq!(
+            n,
+            0,
+            "warmed stack {} made {n} heap allocations",
+            stack.name()
+        );
+    }
+}
+
+#[test]
+fn warmed_codec_stacks_reject_truncation_without_allocating() {
+    // The BadLength path (chip deletion / truncation in the campaign's
+    // noise catalogue) must also stay allocation-free once warm.
+    for stack in registry().iter_mut() {
+        let payload = vec![0x5Au8; 150];
+        let mut coded = Vec::new();
+        let mut out = Vec::new();
+        stack.encode_into(&payload, &mut coded);
+        coded.pop();
+        assert!(stack.decode_into(&coded, payload.len(), &mut out).is_err());
+
+        let n = allocations_during(|| {
+            for _ in 0..16 {
+                assert!(stack.decode_into(&coded, payload.len(), &mut out).is_err());
+            }
+        });
+        assert_eq!(
+            n,
+            0,
+            "warmed stack {} allocated {n} times on truncated input",
+            stack.name()
+        );
+    }
 }
 
 #[test]

@@ -4,6 +4,7 @@
 //! densevlc-cli adapt   [--scenario 1|2|3] [--budget W]   one adaptation round
 //! densevlc-cli map     [--scenario 1|2|3] [--budget W]   ASCII beamspot floor plan
 //! densevlc-cli lux     [--sim|--testbed]                 illuminance check
+//! densevlc-cli codecs                                    FEC stack catalogue
 //! densevlc-cli sync                                      Table-4 measurement
 //! densevlc-cli iperf   [--frames N]                      Table-5 experiment
 //! densevlc-cli faceoff [--scenario 1|2|3]                Fig-21 comparison
@@ -71,6 +72,7 @@ fn main() {
         "adapt" => adapt(rest(&args), &telemetry, &root),
         "map" => map(rest(&args), &telemetry, &root),
         "lux" => lux(),
+        "codecs" => codecs(),
         "sync" => sync(&telemetry, &root),
         "iperf" => iperf(rest(&args), &telemetry),
         "faceoff" => faceoff(rest(&args)),
@@ -271,6 +273,35 @@ fn lux() {
     );
 }
 
+/// Lists the pluggable FEC stacks the frame pipeline can run on, with the
+/// overhead and correction guarantees each advertises on the paper's
+/// 200-byte payload (see `docs/CODECS.md`).
+fn codecs() {
+    let payload = 200usize;
+    println!("FEC codec stacks (vlc_phy::codec::registry), {payload}-byte payload:\n");
+    println!(
+        "  {:<14} {:>9} {:>9}  {:>8} {:>9} {:>6}",
+        "name", "coded B", "overhead", "t/block", "block B", "burst"
+    );
+    for stack in vlc_phy::codec::registry() {
+        let coded = stack.encoded_len(payload);
+        let c = stack.correction();
+        println!(
+            "  {:<14} {:>9} {:>8.1}%  {:>8} {:>9} {:>6}",
+            stack.name(),
+            coded,
+            100.0 * (coded - payload) as f64 / payload as f64,
+            c.t_per_block,
+            c.block_len,
+            c.burst_tolerance
+        );
+    }
+    println!(
+        "\nguarantees are per coded block (0 = detect-only or statistical); sweep them\n\
+         against calibrated noise with: cargo run --release -p vlc-bench --bin codec_campaign"
+    );
+}
+
 fn sync(telemetry: &Registry, parent: &Span) {
     print!(
         "{}",
@@ -425,6 +456,7 @@ fn help() {
          adapt   [--scenario 1|2|3] [--budget W]  run one adaptation round\n  \
          map     [--scenario 1|2|3] [--budget W]  ASCII floor plan of beamspots\n  \
          lux                                      illuminance / ISO 8995-1 check\n  \
+         codecs                                   FEC stack catalogue (docs/CODECS.md)\n  \
          sync                                     Table-4 sync-error measurement\n  \
          iperf   [--frames N]                     Table-5 end-to-end experiment\n  \
          faceoff [--scenario 1|2|3]               Fig-21 SISO/D-MISO comparison\n  \

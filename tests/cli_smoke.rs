@@ -105,6 +105,17 @@ fn telemetry_out_writes_the_chosen_format_off_stdout() {
 }
 
 #[test]
+fn codecs_lists_the_stack_catalogue() {
+    let out = cli().arg("codecs").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["rs", "rs+il16", "conv_k7+crc32", "crc32"] {
+        assert!(text.contains(name), "missing stack `{name}`: {text}");
+    }
+    assert!(text.contains("codec_campaign"), "{text}");
+}
+
+#[test]
 fn default_run_emits_no_observability_artifacts() {
     let out = cli().arg("adapt").output().unwrap();
     assert!(out.status.success());

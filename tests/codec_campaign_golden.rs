@@ -1,0 +1,60 @@
+//! Golden snapshot of the reduced codec campaign: the full
+//! `densevlc-codec-campaign/1` report — every cell's PER, overhead, and
+//! corrected count, plus the PER-vs-overhead frontiers — rendered with
+//! exact (`{:?}`) float formatting and compared byte-for-byte against
+//! `tests/golden/codec_campaign.json`.
+//!
+//! Together with the determinism test in `crates/bench/tests/` this pins
+//! the campaign end to end: any change to a codec stack, a noise
+//! injector's draw order, the Q-function approximation, or the vendored
+//! RNG shows up as a golden diff.
+//!
+//! Regenerating after an *intentional* change:
+//!
+//! ```text
+//! DENSEVLC_GOLDEN_REGEN=1 cargo test --test codec_campaign_golden
+//! git diff tests/golden/   # review the drift, then commit
+//! ```
+
+use std::path::PathBuf;
+use vlc_bench::codec_lab::{CampaignConfig, CampaignReport};
+use vlc_par::{Jobs, Pool};
+
+const REGEN_ENV: &str = "DENSEVLC_GOLDEN_REGEN";
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var(REGEN_ENV)
+        .map(|v| !v.is_empty())
+        .unwrap_or(false)
+    {
+        std::fs::write(&path, rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `{REGEN_ENV}=1 cargo test --test \
+             codec_campaign_golden` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden.as_str(),
+        "{name} drifted from its golden snapshot; if the change is intentional, regenerate \
+         with `{REGEN_ENV}=1 cargo test --test codec_campaign_golden` and review the diff"
+    );
+}
+
+#[test]
+fn reduced_campaign_matches_golden() {
+    let cfg = CampaignConfig::reduced();
+    let report = CampaignReport::run(&cfg, &Pool::new(Jobs::from_env()));
+    check("codec_campaign.json", &report.to_json());
+}
