@@ -7,14 +7,22 @@
 //! only one file are skipped, and improvements never flag. Exit status:
 //! 0 = no regression, 1 = at least one phase regressed, 2 = usage or
 //! parse error.
+//!
+//! With `--explain --new-profile FILE` (and optionally `--old-profile`),
+//! a failed gate additionally cross-references each flagged phase against
+//! the `densevlc-prof/1` self-time profile of the new run and prints the
+//! call paths that own the regression — see `docs/BENCHMARKING.md`
+//! §Explaining a gate failure.
 
-use vlc_trace::{BenchReport, CompareTolerance};
+use vlc_prof::{explain_regressions, Profile};
+use vlc_trace::{format_regressions, BenchReport, CompareTolerance};
 
 const USAGE: &str = "\
 bench_compare — BENCH.json perf-regression gate
 
 USAGE:
     bench_compare OLD.json NEW.json [--rel F] [--mad-k F] [--abs-floor S]
+                  [--explain --new-profile FILE [--old-profile FILE] [--top N]]
 
 ARGS:
     OLD.json        Baseline BENCH.json (e.g. from the main branch).
@@ -25,6 +33,13 @@ OPTIONS:
     --mad-k F       Multiples of the old MAD tolerated (default 5.0).
     --abs-floor S   Absolute noise floor in seconds (default 0.002);
                     shields micro-phases from flagging on scheduler noise.
+    --explain       On failure, name the call paths that own each flagged
+                    phase, using the new run's self-time profile.
+    --new-profile FILE  densevlc-prof/1 profile of the NEW run (from
+                    `run_all --profile-out`); required by --explain.
+    --old-profile FILE  Profile of the OLD run; with it, --explain ranks
+                    paths by self-time *delta* instead of absolute self.
+    --top N         Call paths printed per regressed phase (default 5).
     -h, --help      Print this help.
 
 EXIT STATUS:
@@ -37,11 +52,19 @@ struct Options {
     old_path: String,
     new_path: String,
     tol: CompareTolerance,
+    explain: bool,
+    new_profile: Option<String>,
+    old_profile: Option<String>,
+    top: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut paths: Vec<String> = Vec::new();
     let mut tol = CompareTolerance::default();
+    let mut explain = false;
+    let mut new_profile: Option<String> = None;
+    let mut old_profile: Option<String> = None;
+    let mut top = 5usize;
     let mut args = std::env::args().skip(1);
     let float = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<f64, String> {
         let v = args.next().ok_or(format!("{flag} needs a value"))?;
@@ -59,17 +82,56 @@ fn parse_args() -> Result<Options, String> {
             "--rel" => tol.rel = float(&mut args, "--rel")?,
             "--mad-k" => tol.mad_k = float(&mut args, "--mad-k")?,
             "--abs-floor" => tol.abs_floor_s = float(&mut args, "--abs-floor")?,
+            "--explain" => explain = true,
+            "--new-profile" => {
+                new_profile = Some(args.next().ok_or("--new-profile needs a file")?);
+            }
+            "--old-profile" => {
+                old_profile = Some(args.next().ok_or("--old-profile needs a file")?);
+            }
+            "--top" => {
+                let v = args.next().ok_or("--top needs a value")?;
+                top = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad --top value `{v}`"))?;
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             _ => paths.push(arg),
         }
+    }
+    if explain && new_profile.is_none() {
+        return Err("--explain needs --new-profile FILE (from run_all --profile-out)".to_string());
     }
     match <[String; 2]>::try_from(paths) {
         Ok([old_path, new_path]) => Ok(Options {
             old_path,
             new_path,
             tol,
+            explain,
+            new_profile,
+            old_profile,
+            top,
         }),
         Err(_) => Err("expected exactly two BENCH.json paths".to_string()),
+    }
+}
+
+fn load_profile(path: &str) -> Profile {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match Profile::from_json(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {path} is not a valid profile: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -107,10 +169,13 @@ fn main() {
         opts.old_path,
         opts.new_path
     );
-    for r in &regressions {
-        println!(
-            "  {:<32} {:>12.6}s -> {:>12.6}s (threshold {:+.6}s)",
-            r.name, r.old_median_s, r.new_median_s, r.threshold_s
+    print!("{}", format_regressions(&regressions));
+    if opts.explain {
+        let new_profile = load_profile(opts.new_profile.as_deref().expect("validated in parse"));
+        let old_profile = opts.old_profile.as_deref().map(load_profile);
+        print!(
+            "{}",
+            explain_regressions(&regressions, &new_profile, old_profile.as_ref(), opts.top)
         );
     }
     std::process::exit(1);

@@ -12,13 +12,15 @@
 
 use std::process::Command;
 
-use vlc_trace::{BenchReport, CompareTolerance};
+use vlc_prof::{explain_regressions, Profile};
+use vlc_trace::{format_regressions, BenchReport, CompareTolerance};
 
 const USAGE: &str = "\
 bench_gate — benchmark the working tree and gate it against a baseline
 
 USAGE:
     bench_gate [BASELINE.json] [--bench-repeat N] [--rel F] [--mad-k F] [--abs-floor S]
+               [--explain [--top N]]
 
 ARGS:
     BASELINE.json   Baseline to gate against (default: BENCH.json at the
@@ -29,6 +31,10 @@ OPTIONS:
     --rel F           Relative tolerance on the old median (default 0.2).
     --mad-k F         Multiples of the old MAD tolerated (default 5.0).
     --abs-floor S     Absolute noise floor in seconds (default 0.002).
+    --explain         Also profile the fresh run (`--profile-out`); on
+                      failure, print the call paths that own each flagged
+                      phase instead of a bare phase name.
+    --top N           Call paths printed per regressed phase (default 5).
     -h, --help        Print this help.
 
 EXIT STATUS:
@@ -41,11 +47,15 @@ struct Options {
     baseline: String,
     repeat: u32,
     tol: CompareTolerance,
+    explain: bool,
+    top: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut baseline: Option<String> = None;
     let mut repeat = 5u32;
+    let mut explain = false;
+    let mut top = 5usize;
     let mut tol = CompareTolerance::default();
     let mut args = std::env::args().skip(1);
     let float = |args: &mut dyn Iterator<Item = String>, flag: &str| -> Result<f64, String> {
@@ -72,6 +82,15 @@ fn parse_args() -> Result<Options, String> {
             "--rel" => tol.rel = float(&mut args, "--rel")?,
             "--mad-k" => tol.mad_k = float(&mut args, "--mad-k")?,
             "--abs-floor" => tol.abs_floor_s = float(&mut args, "--abs-floor")?,
+            "--explain" => explain = true,
+            "--top" => {
+                let v = args.next().ok_or("--top needs a value")?;
+                top = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("bad --top value `{v}`"))?;
+            }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             _ if baseline.is_none() => baseline = Some(arg),
             _ => return Err("expected at most one baseline path".to_string()),
@@ -81,6 +100,8 @@ fn parse_args() -> Result<Options, String> {
         baseline: baseline.unwrap_or_else(|| "BENCH.json".to_string()),
         repeat,
         tol,
+        explain,
+        top,
     })
 }
 
@@ -99,25 +120,31 @@ fn main() {
     };
     let fresh = std::env::temp_dir().join(format!("bench_gate_{}.json", std::process::id()));
     let fresh_path = fresh.to_string_lossy().to_string();
+    let fresh_profile =
+        std::env::temp_dir().join(format!("bench_gate_{}.profile.json", std::process::id()));
+    let fresh_profile_path = fresh_profile.to_string_lossy().to_string();
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     println!(
-        "==== bench_gate: benchmarking working tree ({} samples/phase) ====",
-        opts.repeat
+        "==== bench_gate: benchmarking working tree ({} samples/phase{}) ====",
+        opts.repeat,
+        if opts.explain { ", profiled" } else { "" }
     );
-    let status = Command::new(&cargo)
-        .args([
-            "run",
-            "--release",
-            "-p",
-            "vlc-bench",
-            "--bin",
-            "run_all",
-            "--",
-        ])
-        .args(["--bench-out", &fresh_path])
-        .args(["--bench-repeat", &opts.repeat.to_string()])
-        .status()
-        .expect("failed to spawn cargo run");
+    let mut cmd = Command::new(&cargo);
+    cmd.args([
+        "run",
+        "--release",
+        "-p",
+        "vlc-bench",
+        "--bin",
+        "run_all",
+        "--",
+    ])
+    .args(["--bench-out", &fresh_path])
+    .args(["--bench-repeat", &opts.repeat.to_string()]);
+    if opts.explain {
+        cmd.args(["--profile-out", &fresh_profile_path]);
+    }
+    let status = cmd.status().expect("failed to spawn cargo run");
     if !status.success() {
         eprintln!("error: run_all --bench-out failed");
         std::process::exit(2);
@@ -130,6 +157,21 @@ fn main() {
         }
     };
     let _ = std::fs::remove_file(&fresh);
+    let profile = if opts.explain {
+        let p = std::fs::read_to_string(&fresh_profile)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Profile::from_json(&t));
+        let _ = std::fs::remove_file(&fresh_profile);
+        match p {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("error: fresh profile unreadable: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
     let regressions = old.compare(&new, &opts.tol);
     if regressions.is_empty() {
         println!("bench_gate: OK — no phase regressed vs {}", opts.baseline);
@@ -140,10 +182,13 @@ fn main() {
         regressions.len(),
         opts.baseline
     );
-    for r in &regressions {
-        println!(
-            "  {:<32} {:>12.6}s -> {:>12.6}s (threshold {:+.6}s)",
-            r.name, r.old_median_s, r.new_median_s, r.threshold_s
+    print!("{}", format_regressions(&regressions));
+    if let Some(profile) = &profile {
+        // No baseline profile here (the committed baseline carries only
+        // BENCH.json), so paths rank by absolute self time.
+        print!(
+            "{}",
+            explain_regressions(&regressions, profile, None, opts.top)
         );
     }
     std::process::exit(1);

@@ -1,14 +1,16 @@
 //! `obs_check` — validate an observability NDJSON stream.
 //!
 //! ```text
-//! obs_check <stream.ndjson> [--expect-summary] [--expect-panic] [--lenient]
+//! obs_check <stream.ndjson> [--expect-summary] [--expect-panic]
+//!           [--expect-profile] [--lenient]
 //! ```
 //!
 //! Parses every line with the bundled `vlc_obs` parser (the same one the
 //! round-trip tests and the monitor run on) and exits nonzero on the
 //! first invalid line, naming it. `--expect-summary` additionally
 //! requires the stream to end with a `summary` record (a completed run);
-//! `--expect-panic` requires a `panic` record (a flight-recorder dump).
+//! `--expect-panic` requires a `panic` record (a flight-recorder dump);
+//! `--expect-profile` requires a `profile` digest (a profiled run).
 //! `--lenient` tolerates a trailing unterminated line, for validating a
 //! stream still being written. CI runs this against both a streamed
 //! simulation and an injected-panic flight dump.
@@ -19,10 +21,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let expect_summary = args.iter().any(|a| a == "--expect-summary");
     let expect_panic = args.iter().any(|a| a == "--expect-panic");
+    let expect_profile = args.iter().any(|a| a == "--expect-profile");
     let lenient = args.iter().any(|a| a == "--lenient");
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!(
-            "usage: obs_check <stream.ndjson> [--expect-summary] [--expect-panic] [--lenient]"
+            "usage: obs_check <stream.ndjson> [--expect-summary] [--expect-panic] [--expect-profile] [--lenient]"
         );
         std::process::exit(2);
     };
@@ -55,9 +58,10 @@ fn main() {
     let events = count(|r| matches!(r, ObsRecord::Event(_)));
     let jobs = count(|r| matches!(r, ObsRecord::Job { .. }));
     let panics = count(|r| matches!(r, ObsRecord::Panic { .. }));
+    let profiles = count(|r| matches!(r, ObsRecord::Profile { .. }));
     let summaries = count(|r| matches!(r, ObsRecord::Summary { .. }));
     println!(
-        "{path}: {} records — {metas} meta, {ticks} ticks, {windows} windows, {alerts} alerts, {events} events, {jobs} jobs, {panics} panics, {summaries} summaries",
+        "{path}: {} records — {metas} meta, {ticks} ticks, {windows} windows, {alerts} alerts, {events} events, {jobs} jobs, {panics} panics, {profiles} profiles, {summaries} summaries",
         records.len()
     );
 
@@ -79,6 +83,10 @@ fn main() {
     }
     if expect_panic && panics == 0 {
         eprintln!("error: expected a panic record (flight-recorder dump)");
+        std::process::exit(1);
+    }
+    if expect_profile && profiles == 0 {
+        eprintln!("error: expected a profile record (profiled run)");
         std::process::exit(1);
     }
     println!("{path}: OK");

@@ -1,0 +1,101 @@
+//! `prof_check` — validate a self-time profile document.
+//!
+//! ```text
+//! prof_check <profile.json> [--folded FILE]
+//! ```
+//!
+//! Checks that the file is a well-formed `densevlc-prof/1` document and
+//! that the profiler's core invariant holds: Σ self-time over all paths
+//! equals Σ inclusive over root paths (to float tolerance — the two are
+//! the same telescoping sum computed two ways). With `--folded FILE` it
+//! additionally re-derives the folded rendering from the profile and
+//! requires FILE to match byte for byte, which is how CI pins that the
+//! exported artifacts agree with each other. Exit codes: 0 valid,
+//! 1 invalid, 2 usage/IO errors.
+
+use vlc_prof::{parse_folded, to_folded, Profile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut folded_path: Option<&String> = None;
+    let mut profile_path: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--folded" => {
+                folded_path = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("error: --folded needs a file");
+                    std::process::exit(2);
+                }));
+            }
+            other if !other.starts_with("--") => profile_path = Some(arg),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = profile_path else {
+        eprintln!("usage: prof_check <profile.json> [--folded FILE]");
+        std::process::exit(2);
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let profile = match Profile::from_json(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {path} is not a valid profile: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let self_s = profile.total_self_s();
+    let root_s = profile.total_root_s();
+    // The invariant is exact arithmetic re-grouped; allow only float
+    // noise proportional to the magnitude involved.
+    let tol = 1e-9 * root_s.abs().max(1.0);
+    println!(
+        "{path}: {} paths, {} calls, sum(self) {self_s:.9}s vs sum(roots) {root_s:.9}s",
+        profile.nodes.len(),
+        profile.nodes.iter().map(|n| n.calls).sum::<u64>()
+    );
+    if (self_s - root_s).abs() > tol {
+        eprintln!(
+            "error: self-time invariant violated: |{self_s} - {root_s}| > {tol} \
+             (parallel child overlap cannot break the *sum*, only per-path signs)"
+        );
+        std::process::exit(1);
+    }
+
+    if let Some(fpath) = folded_path {
+        let folded = match std::fs::read_to_string(fpath) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {fpath}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = parse_folded(&folded) {
+            eprintln!("error: {fpath} is not valid folded-stack data: {e}");
+            std::process::exit(1);
+        }
+        let expected = to_folded(&profile);
+        if folded != expected {
+            eprintln!(
+                "error: {fpath} does not match the folded rendering of {path} \
+                 ({} vs {} bytes)",
+                folded.len(),
+                expected.len()
+            );
+            std::process::exit(1);
+        }
+        println!("{fpath}: matches the profile's folded rendering byte for byte");
+    }
+    println!("{path}: OK");
+}

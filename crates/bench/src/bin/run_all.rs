@@ -20,31 +20,17 @@
 //! `vlc_obs::ObsOptions` — the exact flag set `densevlc-cli` takes.
 
 use densevlc::experiments::*;
-use densevlc::{Simulation, System};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
-use vlc_alloc::heuristic::heuristic_allocation_traced;
-use vlc_alloc::{HeuristicConfig, OptimalSolver, WarmOptimal};
+use vlc_bench::probes::{phase_probe, phy_probe};
 use vlc_bench::{budget_sweep, rate_sweep};
-use vlc_channel::nlos::NlosConfig;
-use vlc_channel::{lambertian_order, ChannelMatrix, NlosTxCache};
 use vlc_led::LedParams;
 use vlc_obs::{
     monitor, parse_stream, FileSink, MemorySink, ObsOptions, ObsRecord, ObsSink, TelemetryFormat,
     OBS_SCHEMA,
 };
 use vlc_par::{Jobs, Pool, JOBS_ENV};
-use vlc_phy::manchester::{manchester_decode, manchester_encode};
-use vlc_phy::packed::PackedChips;
-use vlc_phy::rs::RsCodec;
-use vlc_phy::waveform::{
-    render, render_packed_into, slice_chips, slice_chips_packed_into, WaveformConfig,
-};
-use vlc_phy::{Frame, FrameHeader, ReedSolomon};
-use vlc_sync::NlosSyncLink;
+use vlc_prof::{flamegraph_from_profile, to_folded, Profile};
 use vlc_telemetry::Registry;
-use vlc_testbed::{Deployment, Scenario};
+use vlc_testbed::Scenario;
 use vlc_trace::{BenchReport, Tracer};
 
 const USAGE: &str = "\
@@ -53,6 +39,7 @@ run_all — regenerate the full DenseVLC evaluation (every table and figure)
 USAGE:
     run_all [--jobs N] [--telemetry FORMAT] [--trace FILE]
             [--bench-out FILE] [--bench-repeat N]
+            [--profile-out FILE] [--folded-out FILE] [--flame-out FILE]
             [--obs-stream FILE] [--watch]
 
 OPTIONS:
@@ -74,6 +61,12 @@ OPTIONS:
     --bench-repeat N    Repeat the workload N times (default 1) to tighten
                         the BENCH medians. Reports print once; repeats
                         beyond the first only feed the statistics.
+    --profile-out FILE  Build a densevlc-prof/1 self-time profile from the
+                        run's spans and write it as JSON; diff two with
+                        `prof_diff`, validate with `prof_check`.
+    --folded-out FILE   Write the profile as folded stacks (Brendan Gregg
+                        format, loadable by any flamegraph tool).
+    --flame-out FILE    Write a self-contained SVG flamegraph.
     --obs-stream FILE   Write an NDJSON observability stream: one `job`
                         record per completed experiment (in the fixed
                         presentation order) plus a run summary, validated
@@ -219,195 +212,6 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-/// Times the library's standard phases once under a `bench.phase_probe`
-/// root, so BENCH.json carries comparable per-phase rows (`channel.sound`,
-/// `alloc.heuristic.solve`, `alloc.optimal.solve`, `sim.adapt`, `sim.run`,
-/// `sync.link_build`, `sync.pilot_detect`, …) next to the whole-experiment
-/// rows. Scenario 2 at the paper's 1.2 W budget is the reference workload.
-fn phase_probe(tracer: &Tracer, jobs: Jobs) {
-    let probe = tracer.root("bench.phase_probe");
-    let quiet = Registry::noop();
-    let dep = Deployment::scenario(Scenario::Two);
-    ChannelMatrix::compute_with_blockage_traced(
-        &dep.grid,
-        &dep.receivers,
-        dep.half_power_semi_angle,
-        &dep.optics,
-        &[],
-        jobs,
-        &probe,
-    );
-    heuristic_allocation_traced(
-        &dep.model.channel,
-        &LedParams::cree_xte_paper(),
-        1.2,
-        &HeuristicConfig::paper(),
-        &quiet,
-        &probe,
-    );
-    OptimalSolver::quick().solve_traced_jobs(&dep.model, 1.2, &quiet, jobs, &probe);
-    System::scenario(Scenario::Two, 1.2).adapt_traced(&quiet, &probe);
-    Simulation::new(Deployment::scenario(Scenario::Two), 1.2, 0.25).run_traced(0.6, &quiet, &probe);
-    let link = NlosSyncLink::between_traced(
-        &dep.grid.pose(1),
-        &dep.grid.pose(2),
-        &dep.room,
-        dep.half_power_semi_angle,
-        &dep.optics,
-        &probe,
-    );
-    let mut rng = StdRng::seed_from_u64(0xBE7C);
-    for frame in 0..4 {
-        let round = probe.child_indexed("sync.pilot_round", frame);
-        link.detect_traced(&mut rng, &quiet, &round);
-    }
-
-    // Incremental-engine probes under their own root: they add *new* span
-    // names only (`channel.nlos.cache_build`, `channel.nlos.floor.cached`,
-    // `alloc.optimal.cached`, …) and sit outside `bench.phase_probe`, so
-    // pre-cache BENCH baselines stay comparable row for row.
-    drop(probe);
-    let probe = tracer.root("bench.incremental_probe");
-    let m = lambertian_order(dep.half_power_semi_angle);
-    let nlos_pool = Pool::new(jobs);
-    let cache = NlosTxCache::new_pooled(
-        &dep.grid.pose(1),
-        m,
-        &dep.room,
-        &NlosConfig::default(),
-        &nlos_pool,
-        &probe,
-    );
-    for follower in [2usize, 7, 8] {
-        cache.floor_gain_pooled(&dep.grid.pose(follower), &dep.optics, &nlos_pool, &probe);
-    }
-    let mut warm = WarmOptimal::new();
-    let solver = OptimalSolver::quick();
-    warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
-    // Unchanged channel: the replan is skipped (`alloc.optimal.cached`).
-    warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
-}
-
-/// Times the PHY fast path against its scalar reference under a
-/// `bench.phy_probe` root. `phy.roundtrip.scalar` and
-/// `phy.roundtrip.packed` each run the same per-frame cycle — frame encode
-/// → Manchester chips → waveform render → mid-chip slice → Manchester
-/// decode → Reed–Solomon frame decode, no channel noise so the workload is
-/// deterministic — through the `Vec<Chip>` reference path and the
-/// bit-packed zero-alloc path respectively. `phy.packed.encode`,
-/// `phy.packed.decode`, and `phy.rs.block` isolate the packed Manchester
-/// LUT encode, the word-wise decode, and a full t = 8 RS correction.
-fn phy_probe(tracer: &Tracer) {
-    const REPS: usize = 5;
-    const FRAMES: usize = 16;
-    let cfg = WaveformConfig::paper();
-    let rs = ReedSolomon::paper();
-    let header = FrameHeader {
-        dst: 1,
-        src: 0,
-        protocol: 1,
-    };
-    let mut rng = StdRng::seed_from_u64(0x9A7);
-    let payloads: Vec<Vec<u8>> = (0..FRAMES)
-        .map(|_| (0..200).map(|_| rng.gen()).collect())
-        .collect();
-    let probe = tracer.root("bench.phy_probe");
-
-    // Scalar reference: fresh Vec<Chip> streams and per-call RS buffers.
-    for _ in 0..REPS {
-        let span = probe.child("phy.roundtrip.scalar");
-        let mut sink = 0usize;
-        for payload in &payloads {
-            let frame = Frame::new(u64::MAX, header, payload.clone());
-            let bytes = frame.to_bytes(&rs);
-            let chips = manchester_encode(&bytes);
-            let n_samples = (chips.len() as f64 * cfg.samples_per_chip()).ceil() as usize;
-            let wave = render(&chips, &cfg, 1.0, 0.0, n_samples);
-            let sliced = slice_chips(&wave, &cfg, 0, chips.len()).expect("clean waveform");
-            let decoded = manchester_decode(&sliced).expect("valid stream");
-            let (out, _) = Frame::from_bytes(&decoded, &rs).expect("clean frame");
-            sink += out.payload.len();
-        }
-        assert_eq!(sink, FRAMES * 200);
-        drop(span);
-    }
-
-    // Packed fast path: reusable buffers, warmed before the timed reps so
-    // the rows reflect the steady state the e2e pipeline runs in.
-    let mut codec = RsCodec::paper();
-    let mut wire = Vec::new();
-    let mut chips = PackedChips::new();
-    let mut wave = Vec::new();
-    let mut sliced = PackedChips::new();
-    let mut rx_bytes = Vec::new();
-    let mut coded = Vec::new();
-    let mut payload_rx = Vec::new();
-    let mut packed_cycle = |payload: &[u8]| -> usize {
-        wire.clear();
-        Frame::encode_parts_into(u64::MAX, &header, payload, &mut codec, &mut wire);
-        chips.clear();
-        chips.encode_bytes(&wire);
-        let n_samples = (chips.len() as f64 * cfg.samples_per_chip()).ceil() as usize;
-        render_packed_into(&chips, &cfg, 1.0, 0.0, n_samples, &mut wave);
-        assert!(slice_chips_packed_into(
-            &wave,
-            &cfg,
-            0,
-            chips.len(),
-            &mut sliced
-        ));
-        assert!(sliced.decode_bytes_into(&mut rx_bytes));
-        Frame::decode_parts_into(&rx_bytes, &mut codec, &mut coded, &mut payload_rx)
-            .expect("clean frame");
-        payload_rx.len()
-    };
-    packed_cycle(&payloads[0]);
-    for _ in 0..REPS {
-        let span = probe.child("phy.roundtrip.packed");
-        let mut sink = 0usize;
-        for payload in &payloads {
-            sink += packed_cycle(payload);
-        }
-        assert_eq!(sink, FRAMES * 200);
-        drop(span);
-    }
-
-    // Isolated packed Manchester encode and decode.
-    for _ in 0..REPS {
-        let span = probe.child("phy.packed.encode");
-        for payload in &payloads {
-            chips.clear();
-            chips.encode_bytes(payload);
-        }
-        drop(span);
-    }
-    chips.clear();
-    chips.encode_bytes(&payloads[0]);
-    for _ in 0..REPS {
-        let span = probe.child("phy.packed.decode");
-        for _ in 0..FRAMES {
-            assert!(chips.decode_bytes_into(&mut rx_bytes));
-        }
-        drop(span);
-    }
-
-    // A full Reed–Solomon block correction at capacity (t = 8 errors).
-    let block_payload = &payloads[0];
-    for _ in 0..REPS {
-        let span = probe.child("phy.rs.block");
-        for f in 0..FRAMES {
-            coded.clear();
-            codec.encode_into(block_payload, &mut coded);
-            for e in 0..codec.correction_capacity() {
-                let pos = (f * 31 + e * 17) % coded.len();
-                coded[pos] ^= 0x5a;
-            }
-            codec.decode_in_place(&mut coded).expect("correctable");
-        }
-        drop(span);
-    }
-}
-
 fn write_file(path: &str, contents: &str, what: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => eprintln!("wrote {what} to {path}"),
@@ -513,6 +317,12 @@ fn main() {
                 name: (*name).to_string(),
             });
         }
+        // A profiled run digests its profile into the stream, ahead of
+        // the summary trailer (obs_check requires summary-last).
+        if timing && opts.obs.wants_profile() {
+            let profile = Profile::from_snapshot(&tracer.snapshot(), opts.jobs.get());
+            records.push(ObsRecord::profile_summary(&profile));
+        }
         records.push(ObsRecord::Summary {
             ticks: 0,
             mean_system_bps: 0.0,
@@ -560,6 +370,24 @@ fn main() {
         }
         if let Some(path) = &opts.obs.trace {
             write_file(path, &snapshot.to_chrome_json(), "Chrome trace");
+        }
+        if opts.obs.wants_profile() {
+            let profile = Profile::from_snapshot(&snapshot, opts.jobs.get());
+            if let Some(path) = &opts.obs.profile_out {
+                write_file(path, &profile.to_json(), "self-time profile");
+            }
+            if let Some(path) = &opts.obs.folded_out {
+                write_file(path, &to_folded(&profile), "folded stacks");
+            }
+            if let Some(path) = &opts.obs.flame_out {
+                match flamegraph_from_profile("run_all", &profile) {
+                    Ok(svg) => write_file(path, &svg, "flamegraph"),
+                    Err(e) => {
+                        eprintln!("error: flamegraph rendering failed: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
         }
     }
 }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod codec_lab;
+pub mod probes;
 
 /// Standard sweep of power budgets used by the figure binaries, in watts:
 /// 0.15 W steps up to the full-array 2.7 W.

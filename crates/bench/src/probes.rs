@@ -1,0 +1,220 @@
+//! The standard timed workloads behind BENCH.json and the profiler.
+//!
+//! `run_all` runs these after the experiment job set whenever timing is
+//! on; the trace→profile determinism tests (`tests/prof_determinism.rs`
+//! at the workspace root) run the *same* probes under a `ManualClock`
+//! tracer to pin that the span structure — and therefore the profile and
+//! its folded rendering — is byte-identical at any `DENSEVLC_JOBS`.
+//! Keeping them in the library is what lets both callers share one
+//! definition of "the standard phase probe".
+
+use densevlc::{Simulation, System};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use vlc_alloc::heuristic::heuristic_allocation_traced;
+use vlc_alloc::{HeuristicConfig, OptimalSolver, WarmOptimal};
+use vlc_channel::nlos::NlosConfig;
+use vlc_channel::{lambertian_order, ChannelMatrix, NlosTxCache};
+use vlc_led::LedParams;
+use vlc_par::{Jobs, Pool};
+use vlc_phy::manchester::{manchester_decode, manchester_encode};
+use vlc_phy::packed::PackedChips;
+use vlc_phy::rs::RsCodec;
+use vlc_phy::waveform::{
+    render, render_packed_into, slice_chips, slice_chips_packed_into, WaveformConfig,
+};
+use vlc_phy::{Frame, FrameHeader, ReedSolomon};
+use vlc_sync::NlosSyncLink;
+use vlc_telemetry::Registry;
+use vlc_testbed::{Deployment, Scenario};
+use vlc_trace::Tracer;
+
+/// Times the library's standard phases once under a `bench.phase_probe`
+/// root, so BENCH.json carries comparable per-phase rows (`channel.sound`,
+/// `alloc.heuristic.solve`, `alloc.optimal.solve`, `sim.adapt`, `sim.run`,
+/// `sync.link_build`, `sync.pilot_detect`, …) next to the whole-experiment
+/// rows. Scenario 2 at the paper's 1.2 W budget is the reference workload.
+pub fn phase_probe(tracer: &Tracer, jobs: Jobs) {
+    let probe = tracer.root("bench.phase_probe");
+    let quiet = Registry::noop();
+    let dep = Deployment::scenario(Scenario::Two);
+    ChannelMatrix::compute_with_blockage_traced(
+        &dep.grid,
+        &dep.receivers,
+        dep.half_power_semi_angle,
+        &dep.optics,
+        &[],
+        jobs,
+        &probe,
+    );
+    heuristic_allocation_traced(
+        &dep.model.channel,
+        &LedParams::cree_xte_paper(),
+        1.2,
+        &HeuristicConfig::paper(),
+        &quiet,
+        &probe,
+    );
+    OptimalSolver::quick().solve_traced_jobs(&dep.model, 1.2, &quiet, jobs, &probe);
+    System::scenario(Scenario::Two, 1.2).adapt_traced(&quiet, &probe);
+    Simulation::new(Deployment::scenario(Scenario::Two), 1.2, 0.25).run_traced(0.6, &quiet, &probe);
+    let link = NlosSyncLink::between_traced(
+        &dep.grid.pose(1),
+        &dep.grid.pose(2),
+        &dep.room,
+        dep.half_power_semi_angle,
+        &dep.optics,
+        &probe,
+    );
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+    for frame in 0..4 {
+        let round = probe.child_indexed("sync.pilot_round", frame);
+        link.detect_traced(&mut rng, &quiet, &round);
+    }
+
+    // Incremental-engine probes under their own root: they add *new* span
+    // names only (`channel.nlos.cache_build`, `channel.nlos.floor.cached`,
+    // `alloc.optimal.cached`, …) and sit outside `bench.phase_probe`, so
+    // pre-cache BENCH baselines stay comparable row for row.
+    drop(probe);
+    let probe = tracer.root("bench.incremental_probe");
+    let m = lambertian_order(dep.half_power_semi_angle);
+    let nlos_pool = Pool::new(jobs);
+    let cache = NlosTxCache::new_pooled(
+        &dep.grid.pose(1),
+        m,
+        &dep.room,
+        &NlosConfig::default(),
+        &nlos_pool,
+        &probe,
+    );
+    for follower in [2usize, 7, 8] {
+        cache.floor_gain_pooled(&dep.grid.pose(follower), &dep.optics, &nlos_pool, &probe);
+    }
+    let mut warm = WarmOptimal::new();
+    let solver = OptimalSolver::quick();
+    warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
+    // Unchanged channel: the replan is skipped (`alloc.optimal.cached`).
+    warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
+}
+
+/// Times the PHY fast path against its scalar reference under a
+/// `bench.phy_probe` root. `phy.roundtrip.scalar` and
+/// `phy.roundtrip.packed` each run the same per-frame cycle — frame encode
+/// → Manchester chips → waveform render → mid-chip slice → Manchester
+/// decode → Reed–Solomon frame decode, no channel noise so the workload is
+/// deterministic — through the `Vec<Chip>` reference path and the
+/// bit-packed zero-alloc path respectively. `phy.packed.encode`,
+/// `phy.packed.decode`, and `phy.rs.block` isolate the packed Manchester
+/// LUT encode, the word-wise decode, and a full t = 8 RS correction.
+pub fn phy_probe(tracer: &Tracer) {
+    const REPS: usize = 5;
+    const FRAMES: usize = 16;
+    let cfg = WaveformConfig::paper();
+    let rs = ReedSolomon::paper();
+    let header = FrameHeader {
+        dst: 1,
+        src: 0,
+        protocol: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(0x9A7);
+    let payloads: Vec<Vec<u8>> = (0..FRAMES)
+        .map(|_| (0..200).map(|_| rng.gen()).collect())
+        .collect();
+    let probe = tracer.root("bench.phy_probe");
+
+    // Scalar reference: fresh Vec<Chip> streams and per-call RS buffers.
+    for _ in 0..REPS {
+        let span = probe.child("phy.roundtrip.scalar");
+        let mut sink = 0usize;
+        for payload in &payloads {
+            let frame = Frame::new(u64::MAX, header, payload.clone());
+            let bytes = frame.to_bytes(&rs);
+            let chips = manchester_encode(&bytes);
+            let n_samples = (chips.len() as f64 * cfg.samples_per_chip()).ceil() as usize;
+            let wave = render(&chips, &cfg, 1.0, 0.0, n_samples);
+            let sliced = slice_chips(&wave, &cfg, 0, chips.len()).expect("clean waveform");
+            let decoded = manchester_decode(&sliced).expect("valid stream");
+            let (out, _) = Frame::from_bytes(&decoded, &rs).expect("clean frame");
+            sink += out.payload.len();
+        }
+        assert_eq!(sink, FRAMES * 200);
+        drop(span);
+    }
+
+    // Packed fast path: reusable buffers, warmed before the timed reps so
+    // the rows reflect the steady state the e2e pipeline runs in.
+    let mut codec = RsCodec::paper();
+    let mut wire = Vec::new();
+    let mut chips = PackedChips::new();
+    let mut wave = Vec::new();
+    let mut sliced = PackedChips::new();
+    let mut rx_bytes = Vec::new();
+    let mut coded = Vec::new();
+    let mut payload_rx = Vec::new();
+    let mut packed_cycle = |payload: &[u8]| -> usize {
+        wire.clear();
+        Frame::encode_parts_into(u64::MAX, &header, payload, &mut codec, &mut wire);
+        chips.clear();
+        chips.encode_bytes(&wire);
+        let n_samples = (chips.len() as f64 * cfg.samples_per_chip()).ceil() as usize;
+        render_packed_into(&chips, &cfg, 1.0, 0.0, n_samples, &mut wave);
+        assert!(slice_chips_packed_into(
+            &wave,
+            &cfg,
+            0,
+            chips.len(),
+            &mut sliced
+        ));
+        assert!(sliced.decode_bytes_into(&mut rx_bytes));
+        Frame::decode_parts_into(&rx_bytes, &mut codec, &mut coded, &mut payload_rx)
+            .expect("clean frame");
+        payload_rx.len()
+    };
+    packed_cycle(&payloads[0]);
+    for _ in 0..REPS {
+        let span = probe.child("phy.roundtrip.packed");
+        let mut sink = 0usize;
+        for payload in &payloads {
+            sink += packed_cycle(payload);
+        }
+        assert_eq!(sink, FRAMES * 200);
+        drop(span);
+    }
+
+    // Isolated packed Manchester encode and decode.
+    for _ in 0..REPS {
+        let span = probe.child("phy.packed.encode");
+        for payload in &payloads {
+            chips.clear();
+            chips.encode_bytes(payload);
+        }
+        drop(span);
+    }
+    chips.clear();
+    chips.encode_bytes(&payloads[0]);
+    for _ in 0..REPS {
+        let span = probe.child("phy.packed.decode");
+        for _ in 0..FRAMES {
+            assert!(chips.decode_bytes_into(&mut rx_bytes));
+        }
+        drop(span);
+    }
+
+    // A full Reed–Solomon block correction at capacity (t = 8 errors).
+    let block_payload = &payloads[0];
+    for _ in 0..REPS {
+        let span = probe.child("phy.rs.block");
+        for f in 0..FRAMES {
+            coded.clear();
+            codec.encode_into(block_payload, &mut coded);
+            for e in 0..codec.correction_capacity() {
+                let pos = (f * 31 + e * 17) % coded.len();
+                coded[pos] ^= 0x5a;
+            }
+            codec.decode_in_place(&mut coded).expect("correctable");
+        }
+        drop(span);
+    }
+}

@@ -3,43 +3,17 @@
 //! including ARQ-style single-frame retries — must perform zero heap
 //! allocations. (Bit-identity of the pipeline against the scalar reference
 //! is pinned by the `e2e` module tests; this file guards the other half of
-//! the fast-path contract.)
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+//! the fast-path contract.) The counting allocator is the shared
+//! `vlc_prof::alloc_counter` implementation; its thread-local counters
+//! make each test's window immune to harness-thread noise.
 
 use densevlc::e2e::{run_scalar, E2eConfig, E2eTx, FramePipeline};
+use vlc_prof::alloc_counter::{allocations_during, CountingAlloc};
 use vlc_sync::SyncScheme;
 use vlc_telemetry::Registry;
 
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn allocations_during(f: impl FnOnce()) -> u64 {
-    let before = ALLOCS.load(Ordering::Relaxed);
-    f();
-    ALLOCS.load(Ordering::Relaxed) - before
-}
 
 fn txs() -> Vec<E2eTx> {
     // Two same-host TXs with healthy gains (the Table 5 row-1 regime) —

@@ -27,6 +27,7 @@ pub fn render(records: &[ObsRecord]) -> String {
     let mut jobs = 0usize;
     let mut summary: Option<&ObsRecord> = None;
     let mut panic: Option<&ObsRecord> = None;
+    let mut profile: Option<&ObsRecord> = None;
 
     for r in records {
         match r {
@@ -52,6 +53,7 @@ pub fn render(records: &[ObsRecord]) -> String {
             ObsRecord::Event(_) => events += 1,
             ObsRecord::Job { .. } => jobs += 1,
             ObsRecord::Panic { .. } => panic = Some(r),
+            ObsRecord::Profile { .. } => profile = Some(r),
             ObsRecord::Summary { .. } => summary = Some(r),
         }
     }
@@ -123,6 +125,18 @@ pub fn render(records: &[ObsRecord]) -> String {
     {
         out.push_str(&format!(
             "PANIC: {message} (flight recorder retained {retained} lines)\n"
+        ));
+    }
+    if let Some(ObsRecord::Profile {
+        nodes,
+        root_s,
+        top_path,
+        top_self_s,
+        ..
+    }) = profile
+    {
+        out.push_str(&format!(
+            "profile: {nodes} paths over {root_s:.3} s traced; hottest {top_path} ({top_self_s:.3} s self)\n"
         ));
     }
     if let Some(ObsRecord::Summary {

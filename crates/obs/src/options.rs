@@ -19,6 +19,9 @@
 //! --flight-recorder <file>         crash dump of the last ticks
 //! --flight-last <k>                flight ring capacity in lines
 //! --watch                          render the monitor view from the stream
+//! --profile-out <file>             densevlc-prof/1 self-time profile JSON
+//! --folded-out <file>              folded stacks (flamegraph.pl input)
+//! --flame-out <file>               self-contained SVG flamegraph
 //! ```
 //!
 //! Errors are returned, not printed: callers decide between `exit(2)`
@@ -72,6 +75,12 @@ pub struct ObsOptions {
     pub flight_last: usize,
     /// `--watch`: render the monitor view from the stream.
     pub watch: bool,
+    /// `--profile-out`: self-time profile JSON (`densevlc-prof/1`) path.
+    pub profile_out: Option<String>,
+    /// `--folded-out`: folded-stack (Brendan-Gregg format) output path.
+    pub folded_out: Option<String>,
+    /// `--flame-out`: SVG flamegraph output path.
+    pub flame_out: Option<String>,
 }
 
 impl Default for ObsOptions {
@@ -87,6 +96,9 @@ impl Default for ObsOptions {
             flight_recorder: None,
             flight_last: DEFAULT_FLIGHT_CAPACITY,
             watch: false,
+            profile_out: None,
+            folded_out: None,
+            flame_out: None,
         }
     }
 }
@@ -155,6 +167,9 @@ impl ObsOptions {
                 .ok_or(format!("bad --flight-last value `{v}`"))?;
         }
         o.watch = take_switch(args, "--watch");
+        o.profile_out = take_value(args, "--profile-out")?;
+        o.folded_out = take_value(args, "--folded-out")?;
+        o.flame_out = take_value(args, "--flame-out")?;
         Ok(o)
     }
 
@@ -169,7 +184,12 @@ impl ObsOptions {
 
     /// Whether the run needs a live tracer.
     pub fn wants_tracer(&self) -> bool {
-        self.trace.is_some() || self.bench_out.is_some()
+        self.trace.is_some() || self.bench_out.is_some() || self.wants_profile()
+    }
+
+    /// Whether the run builds a self-time profile from its trace.
+    pub fn wants_profile(&self) -> bool {
+        self.profile_out.is_some() || self.folded_out.is_some() || self.flame_out.is_some()
     }
 
     /// Whether the run streams observability records at all.
@@ -253,10 +273,25 @@ mod tests {
             vec!["--bench-repeat", "0"],
             vec!["--flight-last", "-1"],
             vec!["--obs-stream", "--watch"],
+            vec!["--profile-out"],
+            vec!["--folded-out", "--watch"],
         ] {
             let mut args = argv(&bad);
             assert!(ObsOptions::parse(&mut args).is_err(), "{bad:?} must fail");
         }
+    }
+
+    #[test]
+    fn profile_flags_enable_the_tracer_without_bench_out() {
+        for flag in ["--profile-out", "--folded-out", "--flame-out"] {
+            let mut args = argv(&["sim", flag, "p.out"]);
+            let o = ObsOptions::parse(&mut args).unwrap();
+            assert!(o.wants_profile(), "{flag}");
+            assert!(o.wants_tracer(), "{flag} implies a live tracer");
+            assert!(!o.wants_stream(), "{flag} alone does not stream");
+            assert_eq!(args, argv(&["sim"]));
+        }
+        assert!(!ObsOptions::default().wants_profile());
     }
 
     #[test]

@@ -168,6 +168,14 @@ impl ObsPlane {
         }
     }
 
+    /// Injects one record into the stream out of band — the hook the CLI
+    /// uses to place a profile digest (built from the run's trace) ahead
+    /// of the summary trailer. Goes through the same path as every other
+    /// record: the flight ring sees it and sink failure latches.
+    pub fn emit_record(&mut self, record: &ObsRecord) {
+        self.emit(record);
+    }
+
     /// Starts the stream: writes the meta record (also pinned as flight
     /// context so every crash dump leads with it).
     pub fn begin(&mut self, tick_s: f64, n_rx: usize) {

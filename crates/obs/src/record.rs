@@ -18,9 +18,11 @@
 //! | `alert`   | SLO state transitions (fire / clear)         |
 //! | `job`     | one per completed `run_all` experiment job   |
 //! | `panic`   | written by the flight recorder's crash dump  |
+//! | `profile` | self-time profile digest, before the summary |
 //! | `summary` | once, at stream end                          |
 
 use crate::window::WindowStats;
+use vlc_prof::{Profile, PROF_SCHEMA};
 use vlc_telemetry::export::json::{event_from_value, event_to_json};
 use vlc_telemetry::export::value::{
     field, field_opt, parse_json, push_f64, push_json_string, JsonValue,
@@ -121,6 +123,23 @@ pub enum ObsRecord {
         retained: u64,
         /// Older lines the flight ring had already evicted.
         dropped: u64,
+    },
+    /// Digest of a self-time profile built from the run's trace. The full
+    /// profile goes to `--profile-out`; the stream carries the headline so
+    /// dashboards and `obs_check` can see profiling happened.
+    Profile {
+        /// Always [`vlc_prof::PROF_SCHEMA`]; the parser rejects others.
+        schema: String,
+        /// Distinct call paths in the profile.
+        nodes: u64,
+        /// Total span calls across all paths.
+        calls: u64,
+        /// Σ inclusive over root paths — total traced wall time, seconds.
+        root_s: f64,
+        /// Call path with the most self time.
+        top_path: String,
+        /// That path's self time, seconds.
+        top_self_s: f64,
     },
     /// Stream trailer with end-of-run totals.
     Summary {
@@ -261,6 +280,24 @@ impl ObsRecord {
                 push_json_string(&mut out, message);
                 out.push_str(&format!(",\"retained\":{retained},\"dropped\":{dropped}}}"));
             }
+            ObsRecord::Profile {
+                schema,
+                nodes,
+                calls,
+                root_s,
+                top_path,
+                top_self_s,
+            } => {
+                out.push_str("{\"type\":\"profile\",\"schema\":");
+                push_json_string(&mut out, schema);
+                out.push_str(&format!(",\"nodes\":{nodes},\"calls\":{calls},\"root_s\":"));
+                push_f64(&mut out, *root_s);
+                out.push_str(",\"top_path\":");
+                push_json_string(&mut out, top_path);
+                out.push_str(",\"top_self_s\":");
+                push_f64(&mut out, *top_self_s);
+                out.push('}');
+            }
             ObsRecord::Summary {
                 ticks,
                 mean_system_bps,
@@ -279,6 +316,21 @@ impl ObsRecord {
             }
         }
         out
+    }
+
+    /// Builds the stream digest of a full profile: node/call totals, the
+    /// traced root wall time, and the hottest path by self time (empty
+    /// when the profile is — e.g. tracing produced no closed spans).
+    pub fn profile_summary(profile: &Profile) -> ObsRecord {
+        let top = profile.by_self().into_iter().next();
+        ObsRecord::Profile {
+            schema: profile.schema.clone(),
+            nodes: profile.nodes.len() as u64,
+            calls: profile.nodes.iter().map(|n| n.calls).sum(),
+            root_s: profile.total_root_s(),
+            top_path: top.map(|n| n.path.clone()).unwrap_or_default(),
+            top_self_s: top.map(|n| n.self_s).unwrap_or(0.0),
+        }
     }
 
     /// Parses and validates one NDJSON line.
@@ -348,6 +400,25 @@ impl ObsRecord {
                 retained: field(obj, "retained")?.as_u64("retained")?,
                 dropped: field(obj, "dropped")?.as_u64("dropped")?,
             }),
+            "profile" => {
+                let schema = field(obj, "schema")?.as_str("schema")?.to_string();
+                if schema != PROF_SCHEMA {
+                    return Err(ParseError::new(
+                        0,
+                        format!(
+                            "unsupported profile schema \"{schema}\" (expected \"{PROF_SCHEMA}\")"
+                        ),
+                    ));
+                }
+                Ok(ObsRecord::Profile {
+                    schema,
+                    nodes: field(obj, "nodes")?.as_u64("nodes")?,
+                    calls: field(obj, "calls")?.as_u64("calls")?,
+                    root_s: field(obj, "root_s")?.as_f64("root_s")?,
+                    top_path: field(obj, "top_path")?.as_str("top_path")?.to_string(),
+                    top_self_s: field(obj, "top_self_s")?.as_f64("top_self_s")?,
+                })
+            }
             "summary" => Ok(ObsRecord::Summary {
                 ticks: field(obj, "ticks")?.as_u64("ticks")?,
                 mean_system_bps: field(obj, "mean_system_bps")?.as_f64("mean_system_bps")?,
@@ -491,6 +562,14 @@ mod tests {
                 retained: 6,
                 dropped: 0,
             },
+            ObsRecord::Profile {
+                schema: PROF_SCHEMA.into(),
+                nodes: 42,
+                calls: 128,
+                root_s: 1.2500000000000002,
+                top_path: "bench.run_all;experiment.fig21_baselines".into(),
+                top_self_s: 0.325,
+            },
             ObsRecord::Summary {
                 ticks: 20,
                 mean_system_bps: 5.2e6,
@@ -539,5 +618,42 @@ mod tests {
         // A meta record with a foreign schema is rejected up front.
         let foreign = "{\"type\":\"meta\",\"schema\":\"other/9\",\"run\":\"x\",\"tick_s\":0.1,\"n_rx\":1,\"every\":1}";
         assert!(ObsRecord::parse_line(foreign).is_err());
+        // So is a profile record with one.
+        let foreign = "{\"type\":\"profile\",\"schema\":\"other/9\",\"nodes\":1,\"calls\":1,\"root_s\":0.1,\"top_path\":\"r\",\"top_self_s\":0.1}";
+        assert!(ObsRecord::parse_line(foreign).is_err());
+    }
+
+    #[test]
+    fn profile_summary_digests_the_hottest_path() {
+        use vlc_telemetry::ManualClock;
+        use vlc_trace::Tracer;
+        let clock = ManualClock::new();
+        let tracer = Tracer::with_clock(clock.clone());
+        let root = tracer.root("run");
+        let hot = root.child("hot");
+        clock.advance(0.75);
+        drop(hot);
+        clock.advance(0.25);
+        drop(root);
+        let profile = Profile::from_snapshot(&tracer.snapshot(), 2);
+        let r = ObsRecord::profile_summary(&profile);
+        let ObsRecord::Profile {
+            ref schema,
+            nodes,
+            calls,
+            root_s,
+            ref top_path,
+            top_self_s,
+        } = r
+        else {
+            panic!("profile record expected");
+        };
+        assert_eq!(schema, PROF_SCHEMA);
+        assert_eq!((nodes, calls), (2, 2));
+        assert_eq!(root_s, 1.0);
+        assert_eq!(top_path, "run;hot");
+        assert_eq!(top_self_s, 0.75);
+        // And it round-trips like every other record.
+        assert_eq!(ObsRecord::parse_line(&r.to_line()).unwrap(), r);
     }
 }

@@ -1,14 +1,11 @@
 //! Steady-state allocation audit for the PHY fast path.
 //!
-//! A counting global allocator wraps the system allocator; each test warms
-//! the reusable workspaces (so every `Vec` reaches its high-water capacity)
-//! and then asserts that further encode/decode/render/slice cycles perform
-//! exactly zero heap allocations. Integration tests sit outside the
-//! library's `forbid(unsafe_code)`, which is what permits the allocator
-//! shim here.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
+//! The shared counting allocator (`vlc_prof::alloc_counter`) wraps the
+//! system allocator; each test warms the reusable workspaces (so every
+//! `Vec` reaches its high-water capacity) and then asserts that further
+//! encode/decode/render/slice cycles perform exactly zero heap
+//! allocations. The counter is thread-local, so the parallel test
+//! harness's own allocations never bleed into a measurement window.
 
 use vlc_phy::codec::registry;
 use vlc_phy::packed::{packed_encode, PackedChips};
@@ -18,50 +15,10 @@ use vlc_phy::waveform::{
     WaveformConfig,
 };
 use vlc_phy::{Frame, FrameHeader};
-
-struct CountingAlloc;
-
-// Per-thread counter: tests run on parallel harness threads, and the
-// harness itself allocates (thread spawning, output capture, completion
-// channels). A process-global counter picks up that noise; a thread-local
-// one attributes every allocation to the thread that made it. The
-// const-initialised `Cell<u64>` has no lazy initialiser and no destructor,
-// so touching it from inside the allocator cannot recurse.
-thread_local! {
-    static ALLOCS: Cell<u64> = const { Cell::new(0) };
-}
-
-fn bump() {
-    // TLS is briefly unavailable during thread teardown; allocations there
-    // belong to the runtime, never to a measurement window.
-    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        bump();
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        bump();
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use vlc_prof::alloc_counter::{allocations_during, CountingAlloc};
 
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
-
-/// Runs `f` and returns how many heap allocations this thread performed.
-fn allocations_during(f: impl FnOnce()) -> u64 {
-    let before = ALLOCS.with(|c| c.get());
-    f();
-    ALLOCS.with(|c| c.get()) - before
-}
 
 #[test]
 fn warmed_rs_codec_is_zero_alloc() {

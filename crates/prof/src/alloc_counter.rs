@@ -1,0 +1,193 @@
+//! A reusable counting global allocator and span-scoped attribution.
+//!
+//! Several test suites (`vlc-phy`'s zero-alloc audit, `vlc-densevlc`'s
+//! e2e identity test) and the CLI's `profile` subcommand all need the
+//! same thing: count heap allocations made by *this thread* between two
+//! points. This module is the single implementation; installing it is
+//! two lines in the consuming binary or test crate:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: vlc_prof::alloc_counter::CountingAlloc =
+//!     vlc_prof::alloc_counter::CountingAlloc;
+//! ```
+//!
+//! ## Why thread-local
+//!
+//! Tests run on parallel harness threads, and the harness itself
+//! allocates (thread spawning, output capture, completion channels). A
+//! process-global counter picks up that noise; a thread-local one
+//! attributes every allocation to the thread that made it. The
+//! const-initialised `Cell<u64>` has no lazy initialiser and no
+//! destructor, so touching it from inside the allocator cannot recurse.
+//!
+//! ## Span attribution caveats
+//!
+//! [`AllocScope`] attaches this thread's alloc/dealloc deltas to a span
+//! as attributes, which [`crate::Profile`] sums per call path. Being
+//! thread-local, a scope only sees allocations made on the thread that
+//! opened it — work fanned out to a pool is *not* attributed to the
+//! dispatching span. When `CountingAlloc` is not installed the deltas
+//! are zero and no attributes are attached, so tracing code can use
+//! `AllocScope` unconditionally.
+
+// The one place in the profiler that needs `unsafe`: implementing
+// `GlobalAlloc`. Kept to pass-through calls plus a `Cell` bump.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use vlc_trace::Span;
+
+/// Attribute key `AllocScope` writes allocation counts under.
+pub const ALLOCS_ATTR: &str = "allocs";
+/// Attribute key `AllocScope` writes deallocation counts under.
+pub const DEALLOCS_ATTR: &str = "deallocs";
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static DEALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`GlobalAlloc`] that forwards to [`System`] while counting this
+/// thread's allocations and deallocations. Install with
+/// `#[global_allocator]` in the consuming crate (a library cannot
+/// install it for you).
+pub struct CountingAlloc;
+
+fn bump(counter: &'static std::thread::LocalKey<Cell<u64>>) {
+    // TLS is briefly unavailable during thread teardown; allocations
+    // there belong to the runtime, never to a measurement window.
+    let _ = counter.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump(&ALLOCS);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        bump(&DEALLOCS);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is one allocation (and implicitly retires the old
+        // block); counting it once matches the historical audits.
+        bump(&ALLOCS);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// This thread's running totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocCounts {
+    /// Allocations (including reallocs) since thread start.
+    pub allocs: u64,
+    /// Deallocations since thread start.
+    pub deallocs: u64,
+}
+
+/// Snapshot of this thread's counters. All zeros unless
+/// [`CountingAlloc`] is installed as the global allocator.
+pub fn counts() -> AllocCounts {
+    AllocCounts {
+        allocs: ALLOCS.with(|c| c.get()),
+        deallocs: DEALLOCS.with(|c| c.get()),
+    }
+}
+
+/// Runs `f` and returns how many heap allocations this thread performed
+/// during it (the zero-alloc audit primitive).
+pub fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+/// Runs `f` and returns this thread's alloc *and* dealloc deltas.
+pub fn counts_during(f: impl FnOnce()) -> AllocCounts {
+    let before = counts();
+    let after = {
+        f();
+        counts()
+    };
+    AllocCounts {
+        allocs: after.allocs - before.allocs,
+        deallocs: after.deallocs - before.deallocs,
+    }
+}
+
+/// Guard that attributes this thread's allocation deltas to a span.
+///
+/// On drop it reads the deltas *before* touching the span (attaching an
+/// attribute itself allocates) and writes [`ALLOCS_ATTR`] /
+/// [`DEALLOCS_ATTR`] attributes — but only when a delta is nonzero, so
+/// without the counting allocator installed no attributes appear.
+pub struct AllocScope<'s> {
+    span: &'s Span,
+    start: AllocCounts,
+}
+
+impl<'s> AllocScope<'s> {
+    /// Starts attributing this thread's allocations to `span`.
+    pub fn new(span: &'s Span) -> Self {
+        AllocScope {
+            span,
+            start: counts(),
+        }
+    }
+}
+
+impl Drop for AllocScope<'_> {
+    fn drop(&mut self) {
+        // Read first: Span::attr allocates, and those allocations must
+        // not count against the scope being closed.
+        let now = counts();
+        let allocs = now.allocs - self.start.allocs;
+        let deallocs = now.deallocs - self.start.deallocs;
+        if allocs > 0 {
+            self.span.attr(ALLOCS_ATTR, &allocs.to_string());
+        }
+        if deallocs > 0 {
+            self.span.attr(DEALLOCS_ATTR, &deallocs.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The counting allocator is NOT installed in this crate's own test
+    // binary (unit tests here share the process with doc builds and the
+    // rest of the suite); these tests pin the uninstalled behavior. The
+    // installed behavior is pinned by `crates/prof/tests/alloc_attr.rs`,
+    // which does install it.
+    use super::*;
+    use vlc_telemetry::ManualClock;
+    use vlc_trace::Tracer;
+
+    #[test]
+    fn without_the_allocator_counts_stay_zero() {
+        let n = allocations_during(|| {
+            let v: Vec<u64> = (0..64).collect();
+            assert_eq!(v.len(), 64);
+        });
+        assert_eq!(n, 0);
+        assert_eq!(counts_during(|| {}), AllocCounts::default());
+    }
+
+    #[test]
+    fn scope_attaches_nothing_when_deltas_are_zero() {
+        let tracer = Tracer::with_clock(ManualClock::new());
+        let root = tracer.root("r");
+        {
+            let _scope = AllocScope::new(&root);
+            let _v: Vec<u8> = vec![0; 32];
+        }
+        drop(root);
+        let snap = tracer.snapshot();
+        assert!(snap.spans[0].attrs.is_empty(), "no attrs without counter");
+    }
+}

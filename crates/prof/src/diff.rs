@@ -1,0 +1,174 @@
+//! Differential profiles: ranked self-time deltas between two runs.
+//!
+//! [`ProfileDiff::between`] joins two [`Profile`]s on call path and ranks
+//! every path by absolute self-time delta — the view that turns "phase X
+//! regressed" into "child Y inside phase X owns the regression". The
+//! `prof_diff` binary and the bench gate's `--explain` both sit on top
+//! of this.
+
+use crate::profile::Profile;
+
+/// One path's before/after comparison. A path present on only one side
+/// compares against zeros (`calls == 0` marks the missing side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// `;`-joined call path.
+    pub path: String,
+    /// Self seconds in the old profile (0 when the path is new).
+    pub old_self_s: f64,
+    /// Self seconds in the new profile (0 when the path vanished).
+    pub new_self_s: f64,
+    /// Calls in the old profile.
+    pub old_calls: u64,
+    /// Calls in the new profile.
+    pub new_calls: u64,
+    /// Alloc delta (new − old, may be negative).
+    pub alloc_delta: i64,
+}
+
+impl DiffEntry {
+    /// `new − old` self seconds; positive means slower.
+    pub fn delta_s(&self) -> f64 {
+        self.new_self_s - self.old_self_s
+    }
+}
+
+/// The full join of two profiles, ranked by |self-time delta|.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDiff {
+    /// Entries sorted by absolute delta descending, path ascending on
+    /// ties — deterministic for deterministic inputs.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl ProfileDiff {
+    /// Joins `old` and `new` on path (outer join; one-sided paths pair
+    /// with zeros).
+    pub fn between(old: &Profile, new: &Profile) -> Self {
+        let mut entries: Vec<DiffEntry> = Vec::new();
+        let mut oi = 0;
+        let mut ni = 0;
+        // Both node lists are sorted by path: a linear merge keeps the
+        // join O(n) and the output order deterministic.
+        while oi < old.nodes.len() || ni < new.nodes.len() {
+            let take_old = ni >= new.nodes.len()
+                || (oi < old.nodes.len() && old.nodes[oi].path <= new.nodes[ni].path);
+            let take_new = oi >= old.nodes.len()
+                || (ni < new.nodes.len() && new.nodes[ni].path <= old.nodes[oi].path);
+            let (o, n) = match (take_old, take_new) {
+                (true, true) => {
+                    let pair = (Some(&old.nodes[oi]), Some(&new.nodes[ni]));
+                    oi += 1;
+                    ni += 1;
+                    pair
+                }
+                (true, false) => {
+                    let pair = (Some(&old.nodes[oi]), None);
+                    oi += 1;
+                    pair
+                }
+                _ => {
+                    let pair = (None, Some(&new.nodes[ni]));
+                    ni += 1;
+                    pair
+                }
+            };
+            let path = o.or(n).expect("one side present").path.clone();
+            entries.push(DiffEntry {
+                path,
+                old_self_s: o.map_or(0.0, |x| x.self_s),
+                new_self_s: n.map_or(0.0, |x| x.self_s),
+                old_calls: o.map_or(0, |x| x.calls),
+                new_calls: n.map_or(0, |x| x.calls),
+                alloc_delta: n.map_or(0, |x| x.allocs as i64) - o.map_or(0, |x| x.allocs as i64),
+            });
+        }
+        entries.sort_by(|a, b| {
+            b.delta_s()
+                .abs()
+                .total_cmp(&a.delta_s().abs())
+                .then(a.path.cmp(&b.path))
+        });
+        ProfileDiff { entries }
+    }
+
+    /// Entries that got slower (`delta > 0`), worst first.
+    pub fn regressed(&self) -> impl Iterator<Item = &DiffEntry> {
+        self.entries.iter().filter(|e| e.delta_s() > 0.0)
+    }
+
+    /// Renders the top `n` entries as an aligned table.
+    pub fn table(&self, n: usize) -> String {
+        let mut out = format!(
+            "  {:>12}  {:>12}  {:>12}  {:>6}  path\n",
+            "old_self_s", "new_self_s", "delta_s", "allocs"
+        );
+        for e in self.entries.iter().take(n) {
+            out.push_str(&format!(
+                "  {:>12.6}  {:>12.6}  {:>+12.6}  {:>+6}  {}\n",
+                e.old_self_s,
+                e.new_self_s,
+                e.delta_s(),
+                e.alloc_delta,
+                e.path
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ProfileNode, PROF_SCHEMA};
+
+    fn profile(rows: &[(&str, f64, u64, u64)]) -> Profile {
+        let mut nodes: Vec<ProfileNode> = rows
+            .iter()
+            .map(|&(path, self_s, calls, allocs)| ProfileNode {
+                path: path.to_string(),
+                calls,
+                incl_s: self_s,
+                self_s,
+                allocs,
+                deallocs: 0,
+            })
+            .collect();
+        nodes.sort_by(|a, b| a.path.cmp(&b.path));
+        Profile {
+            schema: PROF_SCHEMA.to_string(),
+            jobs: 1,
+            nodes,
+        }
+    }
+
+    #[test]
+    fn ranks_by_absolute_delta_and_joins_one_sided_paths() {
+        let old = profile(&[("r", 1.0, 1, 10), ("r;a", 0.5, 2, 0), ("r;gone", 0.2, 1, 0)]);
+        let new = profile(&[("r", 1.0, 1, 4), ("r;a", 1.4, 2, 0), ("r;new", 0.05, 1, 0)]);
+        let diff = ProfileDiff::between(&old, &new);
+        let order: Vec<&str> = diff.entries.iter().map(|e| e.path.as_str()).collect();
+        assert_eq!(order, ["r;a", "r;gone", "r;new", "r"]);
+        let top = &diff.entries[0];
+        assert_eq!(top.delta_s(), 1.4 - 0.5);
+        let gone = &diff.entries[1];
+        assert_eq!((gone.new_self_s, gone.new_calls), (0.0, 0));
+        let fresh = &diff.entries[2];
+        assert_eq!((fresh.old_self_s, fresh.old_calls), (0.0, 0));
+        assert_eq!(diff.entries[3].alloc_delta, -6);
+        // Only the genuinely slower paths count as regressed.
+        let reg: Vec<&str> = diff.regressed().map(|e| e.path.as_str()).collect();
+        assert_eq!(reg, ["r;a", "r;new"]);
+    }
+
+    #[test]
+    fn table_is_deterministic_and_truncates() {
+        let old = profile(&[("r", 1.0, 1, 0), ("r;a", 0.5, 1, 0)]);
+        let new = profile(&[("r", 1.2, 1, 0), ("r;a", 0.6, 1, 0)]);
+        let diff = ProfileDiff::between(&old, &new);
+        let t = diff.table(1);
+        assert_eq!(t, diff.table(1));
+        assert!(t.contains("r\n") || t.ends_with("r\n"), "{t}");
+        assert!(!t.contains("r;a"), "top-1 truncates: {t}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Folded-stack export, validating parser, and SVG flamegraph writer.
+//!
+//! The folded format is Brendan Gregg's `flamegraph.pl` input: one line
+//! per call path, frames joined by `;`, a space, then an integer weight.
+//! [`to_folded`] weights each path by its **self time in nanoseconds**
+//! (clamped at zero — see the wall-clock caveat in [`crate::profile`]),
+//! so any off-the-shelf flamegraph tool can render a profile. The
+//! bundled [`write_flamegraph`] produces a self-contained SVG with no
+//! external scripts, for CI artifacts and quick looks.
+
+use std::collections::BTreeMap;
+
+use crate::profile::Profile;
+
+/// One parsed folded line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedLine {
+    /// Call-path frames, root first.
+    pub frames: Vec<String>,
+    /// Sample weight (self time in nanoseconds for profiles written by
+    /// [`to_folded`]).
+    pub value: u64,
+}
+
+/// Renders the profile as folded stacks: every path, in path order, with
+/// `round(self_s · 1e9)` nanoseconds as the weight (negative self times
+/// clamp to 0). Deterministic: byte-identical for byte-identical
+/// profiles.
+pub fn to_folded(profile: &Profile) -> String {
+    let mut out = String::with_capacity(profile.nodes.len() * 48);
+    for node in &profile.nodes {
+        out.push_str(&node.path);
+        out.push(' ');
+        let ns = (node.self_s * 1e9).round().max(0.0) as u64;
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses folded stacks, validating shape with 1-based line numbers in
+/// every error: each non-empty line must be `frames SPACE integer` with
+/// no empty frame.
+pub fn parse_folded(text: &str) -> Result<Vec<FoldedLine>, String> {
+    let mut lines = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {n}: missing ' <count>' separator"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("line {n}: count `{value}` is not a non-negative integer"))?;
+        if stack.is_empty() {
+            return Err(format!("line {n}: empty stack"));
+        }
+        let frames: Vec<String> = stack.split(';').map(str::to_string).collect();
+        if frames.iter().any(String::is_empty) {
+            return Err(format!("line {n}: empty frame in `{stack}`"));
+        }
+        lines.push(FoldedLine { frames, value });
+    }
+    Ok(lines)
+}
+
+// ------------------------------------------------------------ flamegraph --
+
+/// Merged frame tree built from folded lines.
+struct FlameNode {
+    /// Own (self) weight at this exact path.
+    own: u64,
+    children: BTreeMap<String, FlameNode>,
+}
+
+impl FlameNode {
+    fn new() -> Self {
+        FlameNode {
+            own: 0,
+            children: BTreeMap::new(),
+        }
+    }
+
+    /// Own weight plus all descendants.
+    fn total(&self) -> u64 {
+        self.own + self.children.values().map(FlameNode::total).sum::<u64>()
+    }
+
+    fn depth(&self) -> usize {
+        1 + self
+            .children
+            .values()
+            .map(FlameNode::depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+const WIDTH: f64 = 1200.0;
+const FRAME_H: f64 = 16.0;
+const PAD: f64 = 10.0;
+const TITLE_H: f64 = 24.0;
+
+/// FNV-1a over the frame name → stable warm-palette color, so the same
+/// frame gets the same color in every rendering.
+fn color(name: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let r = 205 + (h % 50) as u8;
+    let g = 80 + ((h >> 8) % 110) as u8;
+    let b = ((h >> 16) % 60) as u8;
+    format!("rgb({r},{g},{b})")
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders folded lines as a self-contained SVG flamegraph (icicle
+/// layout: roots on top, children below, width ∝ weight). When every
+/// weight is zero — a `ManualClock` trace — each line counts as one
+/// sample so the *structure* still renders. Deterministic for identical
+/// input.
+pub fn write_flamegraph(title: &str, lines: &[FoldedLine]) -> String {
+    // Weight of zero total ⇒ count mode (see doc comment).
+    let grand: u64 = lines.iter().map(|l| l.value).sum();
+    let weight = |l: &FoldedLine| if grand == 0 { 1 } else { l.value };
+
+    let mut root = FlameNode::new();
+    for line in lines {
+        let mut node = &mut root;
+        for f in &line.frames {
+            node = node
+                .children
+                .entry(f.clone())
+                .or_insert_with(FlameNode::new);
+        }
+        node.own += weight(line);
+    }
+    let total = root.total().max(1);
+    let depth = root.depth().saturating_sub(1).max(1);
+    let height = TITLE_H + depth as f64 * FRAME_H + PAD * 2.0;
+    let unit = if grand == 0 { "samples" } else { "ns" };
+
+    let mut svg = String::with_capacity(lines.len() * 256);
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         font-family=\"monospace\" font-size=\"11\">\n\
+         <rect width=\"{w}\" height=\"{h}\" fill=\"#f8f8f8\"/>\n\
+         <text x=\"{tx}\" y=\"17\" text-anchor=\"middle\" font-size=\"14\">{t}</text>\n",
+        w = WIDTH,
+        h = height,
+        tx = WIDTH / 2.0,
+        t = xml_escape(title),
+    ));
+
+    // Recursive layout: each child occupies a sub-range of its parent's
+    // x-extent proportional to its total weight; BTreeMap order keeps
+    // sibling placement deterministic.
+    struct Layout<'a> {
+        svg: &'a mut String,
+        total: u64,
+        unit: &'a str,
+    }
+    impl Layout<'_> {
+        fn walk(&mut self, node: &FlameNode, path: &str, x0: f64, x1: f64, level: usize) {
+            let mut x = x0;
+            for (name, child) in &node.children {
+                let ct = child.total();
+                let w = (x1 - x0) * ct as f64 / node.total().max(1) as f64;
+                let child_path = if path.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{path};{name}")
+                };
+                // Sub-half-pixel rectangles are invisible; skip them (and
+                // their subtrees, which are narrower still).
+                if w >= 0.5 {
+                    let y = TITLE_H + PAD + level as f64 * FRAME_H;
+                    let pct = 100.0 * ct as f64 / self.total as f64;
+                    self.svg.push_str(&format!(
+                        "<g><title>{} ({ct} {unit}, {pct:.2}%)</title>\
+                         <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{fh}\" \
+                         fill=\"{c}\" stroke=\"#f8f8f8\" stroke-width=\"0.5\"/>",
+                        xml_escape(&child_path),
+                        unit = self.unit,
+                        fh = FRAME_H,
+                        c = color(name),
+                    ));
+                    // Rough monospace fit: ~6.6px per glyph at font-size 11.
+                    let chars = (w / 6.6) as usize;
+                    if chars >= 3 {
+                        let label: String = if name.chars().count() <= chars {
+                            name.clone()
+                        } else {
+                            let cut: String = name.chars().take(chars.saturating_sub(2)).collect();
+                            format!("{cut}..")
+                        };
+                        self.svg.push_str(&format!(
+                            "<text x=\"{:.2}\" y=\"{:.2}\">{}</text>",
+                            x + 2.0,
+                            y + FRAME_H - 4.0,
+                            xml_escape(&label)
+                        ));
+                    }
+                    self.svg.push_str("</g>\n");
+                    self.walk(child, &child_path, x, x + w, level + 1);
+                }
+                x += w;
+            }
+        }
+    }
+    Layout {
+        svg: &mut svg,
+        total,
+        unit,
+    }
+    .walk(&root, "", PAD, WIDTH - PAD, 0);
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Convenience: profile → folded → flamegraph in one call.
+pub fn flamegraph_from_profile(title: &str, profile: &Profile) -> Result<String, String> {
+    let lines = parse_folded(&to_folded(profile))?;
+    Ok(write_flamegraph(title, &lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use vlc_telemetry::ManualClock;
+    use vlc_trace::Tracer;
+
+    fn profile() -> Profile {
+        let clock = ManualClock::new();
+        let tracer = Tracer::with_clock(clock.clone());
+        let root = tracer.root("main");
+        {
+            let a = root.child("load");
+            clock.advance(0.25);
+            drop(a);
+        }
+        {
+            let b = root.child("solve");
+            clock.advance(0.5);
+            {
+                let c = b.child("rank");
+                clock.advance(0.125);
+                drop(c);
+            }
+            drop(b);
+        }
+        clock.advance(0.1);
+        drop(root);
+        Profile::from_snapshot(&tracer.snapshot(), 1)
+    }
+
+    #[test]
+    fn folded_round_trips_and_weights_are_self_ns() {
+        let p = profile();
+        let folded = to_folded(&p);
+        assert_eq!(
+            folded,
+            "main 100000000\nmain;load 250000000\nmain;solve 500000000\nmain;solve;rank 125000000\n"
+        );
+        let lines = parse_folded(&folded).expect("valid");
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[3].frames, ["main", "solve", "rank"]);
+        assert_eq!(lines[3].value, 125_000_000);
+        // Total folded weight equals total root wall time.
+        let sum: u64 = lines.iter().map(|l| l.value).sum();
+        assert_eq!(sum, (p.total_root_s() * 1e9).round() as u64);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines_with_line_numbers() {
+        assert!(parse_folded("a;b 12\n\n c;d 3\n").is_ok());
+        let e = parse_folded("no_count\n").unwrap_err();
+        assert!(e.starts_with("line 1:"), "{e}");
+        let e = parse_folded("ok 1\na;b notanum\n").unwrap_err();
+        assert!(e.starts_with("line 2:"), "{e}");
+        let e = parse_folded("a;;b 4\n").unwrap_err();
+        assert!(e.contains("empty frame"), "{e}");
+        let e = parse_folded(" 4\n").unwrap_err();
+        assert!(e.contains("empty stack"), "{e}");
+    }
+
+    #[test]
+    fn negative_self_time_clamps_to_zero() {
+        // Fabricate a parallel-overlap profile: child wall exceeds parent.
+        let mut p = profile();
+        for n in &mut p.nodes {
+            if n.path == "main" {
+                n.self_s = -0.25;
+            }
+        }
+        let folded = to_folded(&p);
+        assert!(folded.starts_with("main 0\n"), "{folded}");
+        parse_folded(&folded).expect("clamped output stays valid");
+    }
+
+    #[test]
+    fn flamegraph_is_deterministic_and_structured() {
+        let p = profile();
+        let lines = parse_folded(&to_folded(&p)).unwrap();
+        let svg1 = write_flamegraph("bench", &lines);
+        let svg2 = write_flamegraph("bench", &lines);
+        assert_eq!(svg1, svg2);
+        assert!(svg1.starts_with("<svg "));
+        assert!(svg1.ends_with("</svg>\n"));
+        assert!(svg1.contains(">bench<"));
+        assert!(svg1.contains("main;solve;rank"));
+        // Three levels of frames → three rows of rects plus background.
+        assert!(svg1.matches("<rect ").count() >= 4);
+    }
+
+    #[test]
+    fn zero_weight_traces_render_in_count_mode() {
+        // ManualClock with no advances: all self times zero.
+        let tracer = Tracer::with_clock(ManualClock::new());
+        let root = tracer.root("r");
+        drop(root.child("a"));
+        drop(root.child("b"));
+        drop(root);
+        let p = Profile::from_snapshot(&tracer.snapshot(), 1);
+        let lines = parse_folded(&to_folded(&p)).unwrap();
+        let svg = flamegraph_from_profile("zero", &p).unwrap();
+        assert_eq!(lines.iter().map(|l| l.value).sum::<u64>(), 0);
+        assert!(svg.contains("samples"), "count mode unit");
+        assert!(svg.contains("r;a"), "structure still renders: {svg}");
+    }
+}

@@ -1,0 +1,55 @@
+//! # vlc-prof — deterministic self-time profiler
+//!
+//! The analysis layer on top of `vlc-trace`: turns a [`TraceSnapshot`]
+//! into a [`Profile`] with exact per-call-path self-time attribution,
+//! exports it as folded stacks (any flamegraph tool) or a self-contained
+//! SVG, diffs two profiles, and explains bench-gate failures by naming
+//! the call paths that own a regression. Dependency-free beyond the
+//! workspace's own `vlc-trace`/`vlc-telemetry`.
+//!
+//! The one invariant everything rests on: per path,
+//! `self = inclusive − Σ direct children inclusive`, so self times
+//! telescope and `Σ self == Σ root inclusive` holds exactly under
+//! `ManualClock` (pinned by `tests/prof_determinism.rs` at the workspace
+//! root). Because the grouping key is the structural call path, the
+//! profile — and its folded rendering — is byte-identical at any
+//! `DENSEVLC_JOBS`.
+//!
+//! [`TraceSnapshot`]: vlc_trace::TraceSnapshot
+//!
+//! ## Tour
+//!
+//! ```
+//! use vlc_prof::{Profile, to_folded};
+//! use vlc_telemetry::ManualClock;
+//! use vlc_trace::Tracer;
+//!
+//! let clock = ManualClock::new();
+//! let tracer = Tracer::with_clock(clock.clone());
+//! let root = tracer.root("round");
+//! let solve = root.child("solve");
+//! clock.advance(0.25);
+//! drop(solve);
+//! clock.advance(0.05);
+//! drop(root);
+//!
+//! let profile = Profile::from_snapshot(&tracer.snapshot(), 1);
+//! assert_eq!(profile.total_self_s(), profile.total_root_s());
+//! assert_eq!(to_folded(&profile), "round 50000000\nround;solve 250000000\n");
+//! ```
+
+// `alloc_counter` must implement `GlobalAlloc`; everything else stays
+// safe (deny, not forbid, so that one module can opt out explicitly).
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc_counter;
+pub mod diff;
+pub mod explain;
+pub mod folded;
+pub mod profile;
+
+pub use diff::{DiffEntry, ProfileDiff};
+pub use explain::explain_regressions;
+pub use folded::{flamegraph_from_profile, parse_folded, to_folded, write_flamegraph, FoldedLine};
+pub use profile::{Profile, ProfileNode, PROF_SCHEMA};

@@ -78,6 +78,20 @@ pub struct Regression {
     pub threshold_s: f64,
 }
 
+/// Renders flagged regressions as the aligned table `bench_compare` and
+/// `bench_gate` both print — one place for the format, so their outputs
+/// (and the tests pinning them) cannot drift apart.
+pub fn format_regressions(regressions: &[Regression]) -> String {
+    let mut out = String::new();
+    for r in regressions {
+        out.push_str(&format!(
+            "  {:<32} {:>12.6}s -> {:>12.6}s (threshold {:+.6}s)\n",
+            r.name, r.old_median_s, r.new_median_s, r.threshold_s
+        ));
+    }
+    out
+}
+
 /// Median of a sorted slice (mean of the middle pair for even lengths).
 fn median_sorted(sorted: &[f64]) -> f64 {
     let n = sorted.len();

@@ -41,7 +41,9 @@ mod json;
 mod snapshot;
 mod span;
 
-pub use bench::{BenchReport, BenchStats, CompareTolerance, Regression, BENCH_SCHEMA};
+pub use bench::{
+    format_regressions, BenchReport, BenchStats, CompareTolerance, Regression, BENCH_SCHEMA,
+};
 pub use chrome::{parse_chrome_json, ChromeEvent};
 pub use snapshot::TraceSnapshot;
 pub use span::{

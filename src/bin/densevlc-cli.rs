@@ -10,6 +10,7 @@
 //! densevlc-cli faceoff [--scenario 1|2|3]                Fig-21 comparison
 //! densevlc-cli sim     [--scenario 1|2|3] [--duration S] streamed simulation
 //! densevlc-cli monitor <stream.ndjson> [--follow]        dashboard from a stream
+//! densevlc-cli profile <command> [options]               profiled run of any command
 //! densevlc-cli help
 //! ```
 //!
@@ -17,7 +18,13 @@
 //! `vlc_obs::ObsOptions` (the same flags, with the same errors, that
 //! `run_all` takes): `--telemetry <json|csv|summary>` records metrics and
 //! appends the chosen rendering, `--telemetry-out <file>` redirects it,
-//! `--trace <file>` writes Chrome Trace JSON. The `sim` command adds the
+//! `--trace <file>` writes Chrome Trace JSON, and the profiling trio
+//! `--profile-out` / `--folded-out` / `--flame-out` derives a
+//! `densevlc-prof/1` self-time profile, folded stacks, or an SVG
+//! flamegraph from the same spans. Prefixing any command with `profile`
+//! (e.g. `densevlc-cli profile sim`) additionally prints self/inclusive
+//! time tables and attributes heap allocations to the root span via the
+//! process-wide counting allocator. The `sim` command adds the
 //! streaming plane: `--obs-stream <file>` writes a live NDJSON record
 //! stream (`--obs-every N` sets the flush cadence), `--flight-recorder
 //! <file>` keeps a crash ring of the last `--flight-last K` records, and
@@ -37,9 +44,19 @@ use vlc_obs::{
     TelemetryFormat, WindowConfig,
 };
 use vlc_par::Jobs;
+use vlc_prof::alloc_counter::{AllocScope, CountingAlloc};
+use vlc_prof::{flamegraph_from_profile, to_folded, Profile};
 use vlc_telemetry::Registry;
 use vlc_testbed::{Deployment, Scenario};
 use vlc_trace::{Span, Tracer};
+
+// Installed process-wide so `profile <cmd>` can attribute heap churn to
+// span scopes. The cost is one thread-local `Cell` bump per allocation —
+// unmeasurable next to solver work. `run_all` (the BENCH.json producer)
+// deliberately does NOT install it, keeping baseline timings
+// allocator-identical to the seed.
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,24 +67,34 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `profile <cmd>` wraps any other command: the tracer goes live, the
+    // root span carries this thread's allocation deltas, and the run ends
+    // with self/inclusive time tables (plus any --profile-out/--folded-out/
+    // --flame-out artifacts).
+    let profiling = args.first().map(String::as_str) == Some("profile");
+    if profiling {
+        args.remove(0);
+    }
     let telemetry = if obs.wants_registry() {
         Registry::new()
     } else {
         Registry::noop()
     };
-    let tracer = if obs.wants_tracer() {
+    let tracer = if profiling || obs.wants_tracer() {
         Tracer::new()
     } else {
         Tracer::noop()
     };
-    // With observability flags and no command, default to an adaptation
-    // round so there is something to record.
+    // With observability flags (or a bare `profile`) and no command,
+    // default to an adaptation round so there is something to record.
     let cmd = match args.first().map(String::as_str) {
         Some(c) => c,
-        None if obs.wants_registry() || obs.wants_tracer() => "adapt",
+        None if profiling || obs.wants_registry() || obs.wants_tracer() => "adapt",
         None => "help",
     };
     let root = tracer.root(&format!("cli.{cmd}"));
+    // Dropped (writing alloc attrs) just before the root span closes.
+    let alloc_scope = AllocScope::new(&root);
     match cmd {
         "adapt" => adapt(rest(&args), &telemetry, &root),
         "map" => map(rest(&args), &telemetry, &root),
@@ -76,7 +103,7 @@ fn main() {
         "sync" => sync(&telemetry, &root),
         "iperf" => iperf(rest(&args), &telemetry),
         "faceoff" => faceoff(rest(&args)),
-        "sim" => sim(rest(&args), &telemetry, &root, &obs, &tracer),
+        "sim" => sim(rest(&args), &telemetry, &root, &obs, &tracer, profiling),
         "monitor" => monitor(rest(&args)),
         "help" | "--help" | "-h" => help(),
         other => {
@@ -85,6 +112,7 @@ fn main() {
             std::process::exit(2);
         }
     }
+    drop(alloc_scope);
     drop(root);
     if let Some(path) = &obs.trace {
         write_file(path, &tracer.snapshot().to_chrome_json(), "Chrome trace");
@@ -111,6 +139,34 @@ fn main() {
                 Some(TelemetryFormat::Summary) => print!("\n{rendered}"),
                 _ => print!("{rendered}"),
             },
+        }
+    }
+    if profiling || obs.wants_profile() {
+        let profile = Profile::from_snapshot(&tracer.snapshot(), Jobs::from_env().get());
+        if profiling {
+            println!(
+                "\nprofile: {} paths, {} calls, {:.6} s traced",
+                profile.nodes.len(),
+                profile.nodes.iter().map(|n| n.calls).sum::<u64>(),
+                profile.total_root_s()
+            );
+            print!("\nself time (top 10)\n{}", profile.self_table(10));
+            print!("\ninclusive time (top 10)\n{}", profile.inclusive_table(10));
+        }
+        if let Some(path) = &obs.profile_out {
+            write_file(path, &profile.to_json(), "self-time profile");
+        }
+        if let Some(path) = &obs.folded_out {
+            write_file(path, &to_folded(&profile), "folded stacks");
+        }
+        if let Some(path) = &obs.flame_out {
+            match flamegraph_from_profile(&format!("densevlc-cli {cmd}"), &profile) {
+                Ok(svg) => write_file(path, &svg, "flamegraph"),
+                Err(e) => {
+                    eprintln!("error: flamegraph rendering failed: {e}");
+                    std::process::exit(2);
+                }
+            }
         }
     }
 }
@@ -326,7 +382,14 @@ fn faceoff(args: &[String]) {
 /// Runs the composable simulation, optionally streaming the
 /// observability plane; `--person X Y` drops a standing occluder to make
 /// blockage (and the per-RX throughput SLOs) do something.
-fn sim(args: &[String], telemetry: &Registry, parent: &Span, obs: &ObsOptions, tracer: &Tracer) {
+fn sim(
+    args: &[String],
+    telemetry: &Registry,
+    parent: &Span,
+    obs: &ObsOptions,
+    tracer: &Tracer,
+    profiling: bool,
+) {
     let scenario = scenario_arg(args);
     let budget = f64_flag(args, "--budget", 1.2);
     let duration = f64_flag(args, "--duration", 2.0);
@@ -374,6 +437,14 @@ fn sim(args: &[String], telemetry: &Registry, parent: &Span, obs: &ObsOptions, t
             plane = plane.with_flight(FlightRecorder::new(Path::new(path), obs.flight_last));
         }
         let tl = simulation.run_observed(duration, telemetry, parent, &mut plane);
+        // A profiled run digests its profile into the stream ahead of the
+        // summary record (obs_check --expect-summary wants summary last).
+        // The root `cli.sim` span is still open here, so its children
+        // surface as profile roots — fine for a hottest-path digest.
+        if profiling || obs.wants_profile() {
+            let profile = Profile::from_snapshot(&tracer.snapshot(), Jobs::from_env().get());
+            plane.emit_record(&ObsRecord::profile_summary(&profile));
+        }
         plane.finish(telemetry, tracer.snapshot().dropped);
         if let Some(path) = &obs.obs_stream {
             eprintln!("wrote observability stream to {path}");
@@ -464,6 +535,9 @@ fn help() {
          \x20       [--person X Y] [--slo-bps BPS] [--slo-solver-s S]\n  \
          \x20                                        run the tick simulation\n  \
          monitor <stream.ndjson> [--follow]       dashboard from an obs stream\n  \
+         profile <command> [options]              run any command with the tracer\n  \
+         \x20                                        live and print self/inclusive\n  \
+         \x20                                        time tables (docs/OBSERVABILITY.md)\n  \
          help                                     this text\n\n\
          OBSERVABILITY OPTIONS (any command):\n  \
          --telemetry <json|csv|summary>           record metrics during the run\n  \
@@ -471,7 +545,10 @@ fn help() {
          --telemetry-out <file>                   write the telemetry rendering to\n  \
          \x20                                        a file instead (default json)\n  \
          --trace <file>                           record causal spans and write\n  \
-         \x20                                        Chrome Trace JSON (Perfetto)\n\n\
+         \x20                                        Chrome Trace JSON (Perfetto)\n  \
+         --profile-out <file>                     densevlc-prof/1 self-time profile\n  \
+         --folded-out <file>                      folded stacks (flamegraph input)\n  \
+         --flame-out <file>                       self-contained SVG flamegraph\n\n\
          STREAMING OPTIONS (sim):\n  \
          --obs-stream <file>                      live NDJSON observability stream\n  \
          --obs-every <n>                          stream flush cadence in ticks\n  \

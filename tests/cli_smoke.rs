@@ -155,6 +155,105 @@ fn short_run_reports_zero_ring_drops_in_the_summary() {
 }
 
 #[test]
+fn profile_subcommand_prints_tables_and_writes_valid_artifacts() {
+    use vlc_prof::{parse_folded, to_folded, Profile};
+
+    let prof = tmp("cli_profile.json");
+    let folded = tmp("cli_profile.folded");
+    let flame = tmp("cli_profile.svg");
+    let out = cli()
+        .args(["profile", "adapt", "--profile-out"])
+        .arg(&prof)
+        .arg("--folded-out")
+        .arg(&folded)
+        .arg("--flame-out")
+        .arg(&flame)
+        .output()
+        .expect("densevlc-cli runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The normal report survives, followed by both profiler tables.
+    assert!(stdout.contains("system:"), "{stdout}");
+    assert!(stdout.contains("self time (top 10)"), "{stdout}");
+    assert!(stdout.contains("inclusive time (top 10)"), "{stdout}");
+    assert!(
+        stdout.contains("cli.adapt"),
+        "root path in tables: {stdout}"
+    );
+
+    // The JSON artifact parses, covers the command's call tree, and — with
+    // the CLI's counting allocator installed — attributes allocations.
+    let profile =
+        Profile::from_json(&std::fs::read_to_string(&prof).unwrap()).expect("profile parses");
+    let root = profile.node("cli.adapt").expect("root path present");
+    assert!(root.allocs > 0, "allocation attribution on the root span");
+    assert!(
+        profile.node("cli.adapt;sim.adapt;mac.plan").is_some(),
+        "planner path profiled"
+    );
+
+    // Folded output matches the profile byte for byte and parses.
+    let folded_text = std::fs::read_to_string(&folded).unwrap();
+    assert_eq!(folded_text, to_folded(&profile));
+    parse_folded(&folded_text).expect("folded output parses");
+
+    // The flamegraph is a self-contained SVG naming real frames.
+    let svg = std::fs::read_to_string(&flame).unwrap();
+    assert!(
+        svg.starts_with("<svg xmlns="),
+        "svg preamble: {}",
+        &svg[..40]
+    );
+    assert!(svg.contains("</svg>"));
+    assert!(svg.contains("mac.plan"), "frames labelled");
+}
+
+#[test]
+fn profiled_sim_stream_carries_a_profile_record() {
+    let stream = tmp("profiled_stream.ndjson");
+    let out = cli()
+        .args(["profile", "sim", "--duration", "0.5", "--obs-stream"])
+        .arg(&stream)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&stream).unwrap();
+    let records = vlc_obs::parse_stream_strict(&text).expect("valid NDJSON stream");
+    let profile_at = records
+        .iter()
+        .position(|r| matches!(r, vlc_obs::ObsRecord::Profile { .. }))
+        .expect("profile record in the stream");
+    let summary_at = records
+        .iter()
+        .position(|r| matches!(r, vlc_obs::ObsRecord::Summary { .. }))
+        .expect("summary record in the stream");
+    assert!(
+        profile_at < summary_at,
+        "profile digest precedes the summary"
+    );
+    match &records[profile_at] {
+        vlc_obs::ObsRecord::Profile {
+            nodes,
+            calls,
+            top_path,
+            ..
+        } => {
+            assert!(*nodes > 0 && *calls > 0);
+            assert!(!top_path.is_empty(), "hottest path digested");
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
 fn streamed_sim_validates_and_the_monitor_renders_it() {
     let stream = tmp("sim_stream.ndjson");
     let out = cli()

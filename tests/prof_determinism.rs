@@ -1,0 +1,128 @@
+//! The trace→profile determinism contract, end to end: running the
+//! library's standard bench probes under a [`ManualClock`] tracer, the
+//! resulting `densevlc-prof/1` profile — and therefore its JSON document,
+//! folded-stack rendering, and SVG flamegraph — is byte-identical at any
+//! `DENSEVLC_JOBS`. Also pins the profiler's core accounting invariant
+//! (Σ self-time == Σ root inclusive, exactly, since durations are exact
+//! under a manual clock) and the JSON/folded round trips on real data.
+
+use vlc_bench::probes::{phase_probe, phy_probe};
+use vlc_par::Jobs;
+use vlc_prof::{parse_folded, to_folded, Profile};
+use vlc_telemetry::ManualClock;
+use vlc_trace::Tracer;
+
+/// Worker counts exercised: sequential, even split, a count that does not
+/// divide typical item counts, and every available core.
+fn job_grid() -> [Jobs; 4] {
+    [Jobs::serial(), Jobs::of(2), Jobs::of(7), Jobs::max()]
+}
+
+/// Runs the standard phase probes (the exact workload `run_all` profiles)
+/// under a manual clock and folds the trace into a profile.
+fn probe_profile(jobs: Jobs) -> Profile {
+    let tracer = Tracer::with_clock(ManualClock::new());
+    phase_probe(&tracer, jobs);
+    phy_probe(&tracer);
+    Profile::from_snapshot(&tracer.snapshot(), jobs.get())
+}
+
+#[test]
+fn folded_output_is_byte_identical_for_any_worker_count() {
+    let reference = probe_profile(Jobs::serial());
+    assert!(
+        reference.nodes.len() > 20,
+        "the probes produce a real call tree ({} paths)",
+        reference.nodes.len()
+    );
+    let reference_folded = to_folded(&reference);
+    for jobs in job_grid() {
+        let profile = probe_profile(jobs);
+        assert_eq!(
+            to_folded(&profile),
+            reference_folded,
+            "folded stacks differ at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn profile_json_is_byte_identical_for_any_worker_count() {
+    // `jobs` is recorded in the document header, so compare at a pinned
+    // value: the *nodes* must not depend on who ran the work.
+    let reference = {
+        let mut p = probe_profile(Jobs::serial());
+        p.jobs = 1;
+        p.to_json()
+    };
+    for jobs in [Jobs::of(2), Jobs::of(7), Jobs::max()] {
+        let mut p = probe_profile(jobs);
+        p.jobs = 1;
+        assert_eq!(
+            p.to_json(),
+            reference,
+            "profile JSON differs at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn self_time_telescopes_to_root_inclusive_under_manual_clock() {
+    // Under ManualClock every span's wall time is exact, so the telescoped
+    // sum is exact arithmetic re-grouped — float noise only.
+    for jobs in job_grid() {
+        let profile = probe_profile(jobs);
+        let self_s = profile.total_self_s();
+        let root_s = profile.total_root_s();
+        assert!(
+            (self_s - root_s).abs() <= 1e-9 * root_s.abs().max(1.0),
+            "sum(self) {self_s} != sum(roots) {root_s} at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn child_indexed_fanout_aggregates_and_still_telescopes() {
+    // The probes' `sync.pilot_round` spans are created via child_indexed;
+    // all four rounds must merge into one path whose call count is the
+    // fan-out width, and their time must land in the parent's self-time
+    // deficit (not vanish).
+    let profile = probe_profile(Jobs::of(3));
+    let round = profile
+        .nodes
+        .iter()
+        .find(|n| n.path.ends_with(";sync.pilot_round"))
+        .expect("fan-out path present");
+    assert_eq!(round.calls, 4, "4 indexed rounds merge into one path");
+    let parent = profile
+        .node("bench.phase_probe")
+        .expect("probe root present");
+    assert!(
+        parent.incl_s >= round.incl_s,
+        "children are contained in the root's inclusive time"
+    );
+}
+
+#[test]
+fn json_and_folded_round_trip_on_probe_data() {
+    let profile = probe_profile(Jobs::of(2));
+
+    let parsed = Profile::from_json(&profile.to_json()).expect("own JSON parses");
+    assert_eq!(parsed, profile, "JSON round trip is lossless");
+
+    let folded = to_folded(&profile);
+    let lines = parse_folded(&folded).expect("own folded output parses");
+    assert_eq!(
+        lines.len(),
+        profile.nodes.len(),
+        "one folded line per profile path"
+    );
+    // Every folded stack re-joins to a known profile path.
+    for line in &lines {
+        let path = line.frames.join(";");
+        assert!(
+            profile.node(&path).is_some(),
+            "folded stack `{path}` missing from the profile"
+        );
+    }
+}
