@@ -94,6 +94,79 @@ pub fn rank_by_sjr(channel: &ChannelMatrix, config: &HeuristicConfig) -> Vec<Ran
         );
     }
     let n_tx = channel.n_tx();
+
+    // Per-TX row best, computed once. The greedy extraction only ever
+    // selects a row's best entry, and the reference scan keeps the
+    // lexicographically-first entry attaining each maximum (strictly-greater
+    // comparisons in ascending order), so precomputing (lowest-RX row best,
+    // score) and scanning those in ascending TX order selects the exact
+    // same sequence — collapsing the O(n_tx²·n_rx) rescan to O(n_tx²).
+    // `tests/sparse_solver_identity.rs` property-tests the equivalence with
+    // [`rank_by_sjr_scalar`].
+    let mut best_rx = vec![0usize; n_tx];
+    let mut best_sjr = vec![0.0f64; n_tx];
+    for i in 0..n_tx {
+        let row = channel.tx_row(i);
+        let denom: f64 = row.iter().sum();
+        if denom <= 0.0 {
+            // All-zero SJR row: the reference selects its RX 0 entry.
+            continue;
+        }
+        let kappa = config.kappa_for(i);
+        let mut bj = 0usize;
+        let mut bs = row[0].powf(kappa) / denom;
+        for (j, &g) in row.iter().enumerate().skip(1) {
+            let s = g.powf(kappa) / denom;
+            if s > bs {
+                bj = j;
+                bs = s;
+            }
+        }
+        best_rx[i] = bj;
+        best_sjr[i] = bs;
+    }
+
+    // Greedy extraction over the row bests: take the global maximum,
+    // record it, remove the TX, repeat until every TX is ranked.
+    let mut ranked = Vec::with_capacity(n_tx);
+    let mut tx_taken = vec![false; n_tx];
+    for _ in 0..n_tx {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &s) in best_sjr.iter().enumerate() {
+            if tx_taken[i] {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, b)) => s > b,
+            };
+            if better {
+                best = Some((i, s));
+            }
+        }
+        let (i, s) = best.expect("at least one unranked TX remains");
+        tx_taken[i] = true;
+        ranked.push(RankedTx {
+            tx: i,
+            rx: best_rx[i],
+            sjr: s,
+        });
+    }
+    ranked
+}
+
+/// The historical reference implementation of [`rank_by_sjr`]: materialize
+/// the full SJR matrix, then rescan every unranked entry per round. Kept as
+/// the bit-identity oracle for the fast row-best extraction above.
+pub fn rank_by_sjr_scalar(channel: &ChannelMatrix, config: &HeuristicConfig) -> Vec<RankedTx> {
+    if let Some(v) = &config.per_tx_kappa {
+        assert_eq!(
+            v.len(),
+            channel.n_tx(),
+            "per-TX κ vector has the wrong length"
+        );
+    }
+    let n_tx = channel.n_tx();
     let n_rx = channel.n_rx();
 
     // SJR_{i,j} = H_{i,j}^κ / Σ_{j'} H_{i,j'} (zero when the TX reaches
@@ -429,6 +502,21 @@ mod tests {
         assert!(snap
             .histogram("alloc.heuristic.solve_s")
             .is_some_and(|h| h.count == 1));
+    }
+
+    #[test]
+    fn ranking_matches_scalar_reference_bitwise() {
+        let ch = scenario2_channel();
+        for kappa in [1.0, 1.2, 1.3, 1.5] {
+            let cfg = HeuristicConfig::with_kappa(kappa);
+            let fast = rank_by_sjr(&ch, &cfg);
+            let scalar = rank_by_sjr_scalar(&ch, &cfg);
+            assert_eq!(fast.len(), scalar.len());
+            for (f, s) in fast.iter().zip(&scalar) {
+                assert_eq!((f.tx, f.rx), (s.tx, s.rx), "κ={kappa}");
+                assert_eq!(f.sjr.to_bits(), s.sjr.to_bits(), "κ={kappa}");
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::model::{Allocation, SystemModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use vlc_channel::{ChannelSoA, SparseChannelView};
 use vlc_par::{Jobs, Pool};
 use vlc_telemetry::Registry;
 use vlc_trace::Span;
@@ -29,6 +30,341 @@ use vlc_trace::Span;
 /// see where a start spends its time, coarse enough that a full solve adds
 /// only a handful of records per start.
 const ITER_BATCH: usize = 50;
+
+/// Which objective/gradient kernels a solve runs on. Every public entry
+/// point uses the fast engine; the dense engine is the historical reference
+/// retained as the bit-identity oracle (`tests/sparse_solver_identity.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    Fast,
+    Dense,
+}
+
+/// Per-solve immutable context for the fast kernels: the channel transposed
+/// into contiguous per-RX gain rows ([`ChannelSoA`]), CSR live-link lists in
+/// both orientations ([`SparseChannelView`] — the zero pattern already
+/// contains every FOV-culled link, since a culled link has exactly-zero
+/// gain), and the model constants every dense evaluation re-derived per
+/// call.
+///
+/// Both kernels reproduce the dense fold orders bit for bit: zero-gain
+/// terms of the non-negative stream/interference sums are skipped (`x +
+/// (+0.0) == x` for `x ≥ +0.0`), everything else accumulates in the same
+/// ascending order with the same association.
+struct SolveContext {
+    n_tx: usize,
+    n_rx: usize,
+    soa: ChannelSoA,
+    view: SparseChannelView,
+    /// Every link live (the paper's wide-FOV geometries): the kernels take
+    /// branch-free lane paths with contiguous row sweeps instead of CSR
+    /// indirection — same operations in the same order, so still bitwise.
+    all_live: bool,
+    /// Stream-amplitude scale of Eq. 12: `R·η·r`.
+    scale: f64,
+    noise: f64,
+    bandwidth_hz: f64,
+    r: f64,
+    max_swing: f64,
+}
+
+/// Stream-axis lane width: the paper geometries carry four MRC streams, so
+/// the per-RX accumulator of the stream pass fits one register lane.
+const STREAM_LANE: usize = 4;
+
+/// TX-axis lane width of the gradient fill: eight independent per-TX
+/// evaluations run per step (each element-wise identical to the scalar op
+/// sequence), deep enough to keep the divide pipeline busy.
+const GRAD_LANE: usize = 8;
+
+impl SolveContext {
+    fn new(model: &SystemModel) -> Self {
+        let r = model.dyn_resistance();
+        let view = SparseChannelView::from_matrix(&model.channel);
+        let all_live = view.live_links() == model.n_tx() * model.n_rx();
+        SolveContext {
+            n_tx: model.n_tx(),
+            n_rx: model.n_rx(),
+            soa: ChannelSoA::from_matrix(&model.channel),
+            view,
+            all_live,
+            scale: model.responsivity * model.led.wall_plug_efficiency * r,
+            noise: model.noise.noise_power(),
+            bandwidth_hz: model.noise.bandwidth_hz,
+            r,
+            max_swing: model.led.max_swing,
+        }
+    }
+
+    /// Accumulates all `n_rx` stream amplitudes at RX `i` into `acc`
+    /// (before the `scale` factor), the shared first pass of both kernels:
+    /// ascending-TX, stream-inner, exactly the dense triple loop's order.
+    /// The all-live arm sweeps `x` row-chunks against the contiguous SoA
+    /// gain row; the sparse arm hops the CSR live list (skipped terms are
+    /// exactly `+0.0` in a non-negative ascending sum).
+    #[inline]
+    fn accumulate_streams_at(&self, i: usize, x: &[f64], acc: &mut [f64]) {
+        acc.fill(0.0);
+        if self.all_live && self.n_rx == STREAM_LANE {
+            // Four streams exactly: the accumulator lane lives in registers
+            // and the compiler sees a fixed-width inner loop. Same ops in
+            // the same order as the generic arm below.
+            let mut lane = [0.0f64; STREAM_LANE];
+            for (row, &g) in x.chunks_exact(STREAM_LANE).zip(self.soa.rx_row(i)) {
+                for (a, &swing) in lane.iter_mut().zip(row) {
+                    let half = swing / 2.0;
+                    *a += g * half * half;
+                }
+            }
+            acc.copy_from_slice(&lane);
+        } else if self.all_live {
+            for (row, &g) in x.chunks_exact(self.n_rx).zip(self.soa.rx_row(i)) {
+                for (a, &swing) in acc.iter_mut().zip(row) {
+                    let half = swing / 2.0;
+                    *a += g * half * half;
+                }
+            }
+        } else {
+            let (idx, gains) = self.view.rx_live(i);
+            for (&t, &g) in idx.iter().zip(gains) {
+                let row = &x[t as usize * self.n_rx..(t as usize + 1) * self.n_rx];
+                for (a, &swing) in acc.iter_mut().zip(row) {
+                    let half = swing / 2.0;
+                    *a += g * half * half;
+                }
+            }
+        }
+    }
+
+    /// `Σ_i ln(B·log2(1+SINR_i))` over the raw swing slice — bitwise equal
+    /// to `SystemModel::sum_log_throughput` on the same swings. One pass
+    /// over each RX's live TX list accumulates all `n_rx` stream amplitudes
+    /// at that RX (one gain load shared across the stream lane; each
+    /// stream's partial sum runs in ascending-TX order exactly as the dense
+    /// triple loop).
+    /// On top of the return value, the call leaves the stream amplitudes,
+    /// denominators, SINRs, and throughput factors of `x` in `st` — exactly
+    /// the state [`Self::gradient_cached`] needs, so an accepted
+    /// backtracking candidate's evaluation doubles as the next iteration's
+    /// first two gradient passes. Every intermediate is the same product in
+    /// the same order as the historical fused objective, so the return is
+    /// still bitwise `SystemModel::sum_log_throughput`.
+    fn objective(&self, x: &[f64], st: &mut Scratch) -> f64 {
+        let n_rx = self.n_rx;
+        let ln2 = std::f64::consts::LN_2;
+        for i in 0..n_rx {
+            self.accumulate_streams_at(i, x, &mut st.acc);
+            for (k, &a) in st.acc.iter().enumerate() {
+                st.stream_at[k * n_rx + i] = self.scale * a;
+            }
+        }
+        let mut obj = 0.0;
+        for i in 0..n_rx {
+            let mut interference = 0.0;
+            for k in 0..n_rx {
+                if k != i {
+                    let b = st.stream_at[k * n_rx + i];
+                    interference += b * b;
+                }
+            }
+            st.denom[i] = self.noise + interference;
+            let sig = st.stream_at[i * n_rx + i];
+            let sinr = sig * sig / st.denom[i];
+            st.sinr[i] = sinr;
+            let t = (1.0 + sinr).log2();
+            st.tfac[i] = if t > 0.0 {
+                1.0 / (t * (1.0 + sinr) * ln2)
+            } else {
+                0.0
+            };
+            obj += (self.bandwidth_hz * t).ln();
+        }
+        obj
+    }
+
+    /// The analytic gradient into `st.grad` — bitwise equal to the dense
+    /// `OptimalSolver::gradient`. Gradient rows of TXs with no live link
+    /// are exactly `+0.0` in the dense formula and are zero-filled without
+    /// evaluation; jam sums skip zero-gain receivers (each skipped term is
+    /// `+0.0` in a non-negative ascending sum).
+    /// `st` must hold the stream/denominator/SINR state of `x` from an
+    /// immediately preceding [`Self::objective`] call at the same point —
+    /// the ascent's invariant (every gradient follows an accepted
+    /// evaluation), which saves recomputing both shared passes.
+    fn gradient_cached(&self, x: &[f64], st: &mut Scratch) {
+        if self.all_live {
+            self.fill_gradient_lanes(x, st);
+        } else {
+            self.fill_gradient_sparse(x, st);
+        }
+    }
+
+    /// The gradient fill for an all-live channel: per RX `k`, the TX axis
+    /// runs in [`GRAD_LANE`]-wide batches over the contiguous SoA gain rows.
+    /// Each lane element executes the dense reference's exact op sequence
+    /// (`((((g·tfac)·2)·s)/denom)`, jam summed over ascending `i ≠ k`), so
+    /// every `grad[j,k]` is bitwise the dense value; the batch only lets
+    /// four independent divide chains overlap.
+    fn fill_gradient_lanes(&self, x: &[f64], st: &mut Scratch) {
+        let n_rx = self.n_rx;
+        let tail = self.n_tx - self.n_tx % GRAD_LANE;
+        for k in 0..n_rx {
+            let gk = self.soa.rx_row(k);
+            let tfac_k = st.tfac[k];
+            let s_kk = st.stream_at[k * n_rx + k];
+            let denom_k = st.denom[k];
+            for base in (0..tail).step_by(GRAD_LANE) {
+                let mut sig = [0.0f64; GRAD_LANE];
+                for (l, s) in sig.iter_mut().enumerate() {
+                    *s = gk[base + l] * tfac_k * 2.0 * s_kk / denom_k;
+                }
+                let mut jam = [0.0f64; GRAD_LANE];
+                for i in 0..n_rx {
+                    if i == k {
+                        continue;
+                    }
+                    let gi = &self.soa.rx_row(i)[base..base + GRAD_LANE];
+                    let tfac_i = st.tfac[i];
+                    let sinr_i = st.sinr[i];
+                    let s_ki = st.stream_at[k * n_rx + i];
+                    let denom_i = st.denom[i];
+                    for (j, &g) in jam.iter_mut().zip(gi) {
+                        *j += g * tfac_i * 2.0 * sinr_i * s_ki / denom_i;
+                    }
+                }
+                for l in 0..GRAD_LANE {
+                    let j = base + l;
+                    let dq = x[j * n_rx + k] / 2.0;
+                    st.grad[j * n_rx + k] = if dq == 0.0 {
+                        1e-3 * self.scale * (sig[l] - jam[l]).max(0.0)
+                    } else {
+                        dq * self.scale * (sig[l] - jam[l])
+                    };
+                }
+            }
+            for j in tail..self.n_tx {
+                let dq = x[j * n_rx + k] / 2.0;
+                let signal = gk[j] * tfac_k * 2.0 * s_kk / denom_k;
+                let mut jam = 0.0;
+                for i in 0..n_rx {
+                    if i == k {
+                        continue;
+                    }
+                    jam += self.soa.gain(j, i)
+                        * st.tfac[i]
+                        * 2.0
+                        * st.sinr[i]
+                        * st.stream_at[k * n_rx + i]
+                        / st.denom[i];
+                }
+                st.grad[j * n_rx + k] = if dq == 0.0 {
+                    1e-3 * self.scale * (signal - jam).max(0.0)
+                } else {
+                    dq * self.scale * (signal - jam)
+                };
+            }
+        }
+    }
+
+    /// The gradient fill over the CSR live lists: rows of TXs with no live
+    /// link are exactly `+0.0` in the dense formula and are zero-filled
+    /// without evaluation; jam sums skip zero-gain receivers (each skipped
+    /// term is `+0.0` in a non-negative ascending sum).
+    fn fill_gradient_sparse(&self, x: &[f64], st: &mut Scratch) {
+        let n_rx = self.n_rx;
+        st.grad.fill(0.0);
+        for j in 0..self.n_tx {
+            if !self.view.tx_any_live(j) {
+                continue;
+            }
+            let (jidx, jgains) = self.view.tx_live(j);
+            for k in 0..n_rx {
+                let dq = x[j * n_rx + k] / 2.0;
+                let signal = self.soa.gain(j, k) * st.tfac[k] * 2.0 * st.stream_at[k * n_rx + k]
+                    / st.denom[k];
+                let mut jam = 0.0;
+                for (&i, &g) in jidx.iter().zip(jgains) {
+                    let i = i as usize;
+                    if i == k {
+                        continue;
+                    }
+                    jam += g * st.tfac[i] * 2.0 * st.sinr[i] * st.stream_at[k * n_rx + i]
+                        / st.denom[i];
+                }
+                st.grad[j * n_rx + k] = if dq == 0.0 {
+                    1e-3 * self.scale * (signal - jam).max(0.0)
+                } else {
+                    dq * self.scale * (signal - jam)
+                };
+            }
+        }
+    }
+}
+
+/// Reusable per-start buffers for [`OptimalSolver`]'s fast ascent: the
+/// dense path allocated a fresh gradient (plus `n_rx` inner vectors) per
+/// iteration and a fresh candidate clone per backtracking step.
+struct Scratch {
+    acc: Vec<f64>,
+    stream_at: Vec<f64>,
+    denom: Vec<f64>,
+    sinr: Vec<f64>,
+    tfac: Vec<f64>,
+    grad: Vec<f64>,
+    cand: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(n_tx: usize, n_rx: usize) -> Self {
+        Scratch {
+            acc: vec![0.0; n_rx],
+            stream_at: vec![0.0; n_rx * n_rx],
+            denom: vec![0.0; n_rx],
+            sinr: vec![0.0; n_rx],
+            tfac: vec![0.0; n_rx],
+            grad: vec![0.0; n_tx * n_rx],
+            cand: vec![0.0; n_tx * n_rx],
+        }
+    }
+}
+
+/// The feasible-set projection over a raw swing slice (see module docs) —
+/// the one implementation behind both engines, operation-for-operation the
+/// historical `Allocation`-based projection.
+fn project_slice(x: &mut [f64], n_tx: usize, n_rx: usize, max_swing: f64, r: f64, budget_w: f64) {
+    // Non-negativity. Written as a per-element select (each slot gets
+    // either its own value or literal `0.0`, exactly as the branchy
+    // historical form) so the pass vectorizes.
+    for v in x.iter_mut() {
+        *v = if v.is_finite() && *v >= 0.0 { *v } else { 0.0 };
+    }
+    // Per-TX swing cap and power total in one sweep. The historical form
+    // ran a second full pass re-summing every row for the power ball; an
+    // uncapped row's re-sum is bit-identical to the first (same elements,
+    // same fold), so only capped rows are re-summed, and the per-row
+    // powers accumulate in the same ascending-row order.
+    let mut p = 0.0;
+    for t in 0..n_tx {
+        let row = &mut x[t * n_rx..(t + 1) * n_rx];
+        let mut total: f64 = row.iter().sum();
+        if total > max_swing {
+            let f = max_swing / total;
+            for v in row.iter_mut() {
+                *v *= f;
+            }
+            total = row.iter().sum();
+        }
+        let half = total / 2.0;
+        p += r * half * half;
+    }
+    // Power ball: power scales quadratically under a global factor.
+    if p > budget_w {
+        let f = (budget_w / p).sqrt();
+        for v in x.iter_mut() {
+            *v *= f;
+        }
+    }
+}
 
 /// Solver configuration.
 ///
@@ -155,7 +491,24 @@ impl OptimalSolver {
         jobs: Jobs,
         parent: &Span,
     ) -> SolveReport {
-        self.solve_core(model, budget_w, telemetry, jobs, parent, None)
+        self.solve_core(model, budget_w, telemetry, jobs, parent, None, Engine::Fast)
+    }
+
+    /// [`Self::solve_jobs`] forced through the historical dense kernels
+    /// (per-iteration gradient allocation, AoS gain loads, no live-link
+    /// skipping). Retained as the bit-identity oracle for the sparse/SoA
+    /// fast engine — `tests/sparse_solver_identity.rs` asserts both produce
+    /// the same report to the last bit — and for perf A/Bs.
+    pub fn solve_dense_jobs(&self, model: &SystemModel, budget_w: f64, jobs: Jobs) -> SolveReport {
+        self.solve_core(
+            model,
+            budget_w,
+            &Registry::noop(),
+            jobs,
+            &Span::noop(),
+            None,
+            Engine::Dense,
+        )
     }
 
     /// [`Self::solve`] seeded with a previous allocation (projected back
@@ -195,12 +548,14 @@ impl OptimalSolver {
         jobs: Jobs,
         parent: &Span,
     ) -> SolveReport {
-        self.solve_core(model, budget_w, telemetry, jobs, parent, warm)
+        self.solve_core(model, budget_w, telemetry, jobs, parent, warm, Engine::Fast)
     }
 
     /// The one solve implementation behind the cold and warm entry points:
     /// with `warm: None` it is byte-for-byte the historical cold solve
-    /// (same starts, same spans, same counters).
+    /// (same starts, same spans, same counters), and the fast engine
+    /// reproduces the dense engine's report bit for bit.
+    #[allow(clippy::too_many_arguments)]
     fn solve_core(
         &self,
         model: &SystemModel,
@@ -209,8 +564,13 @@ impl OptimalSolver {
         jobs: Jobs,
         parent: &Span,
         warm: Option<&Allocation>,
+        engine: Engine,
     ) -> SolveReport {
         assert!(budget_w > 0.0, "power budget must be positive");
+        let ctx = match engine {
+            Engine::Fast => Some(SolveContext::new(model)),
+            Engine::Dense => None,
+        };
         let trace = parent.child("alloc.optimal.solve");
         trace.attr("budget_w", &format!("{budget_w}"));
         let _solve_span = telemetry.span("alloc.optimal.solve_s");
@@ -282,7 +642,10 @@ impl OptimalSolver {
             let start_span = trace.child_indexed("alloc.optimal.start", i);
             let mut start = starts[i].clone();
             self.project(model, &mut start, budget_w);
-            let out = self.ascend(model, start, budget_w, &start_span);
+            let out = match &ctx {
+                Some(ctx) => self.ascend_fast(ctx, start, budget_w, &start_span),
+                None => self.ascend(model, start, budget_w, &start_span),
+            };
             start_span.attr("iters", &out.2.to_string());
             out
         });
@@ -415,6 +778,85 @@ impl OptimalSolver {
         (x, f, iters, evals)
     }
 
+    /// [`Self::ascend`] on the fast kernels: identical control flow driven
+    /// by bitwise-identical objective and gradient values, so the returned
+    /// point, objective, iteration count, and evaluation count all match
+    /// the dense engine exactly — without its per-iteration allocations.
+    fn ascend_fast(
+        &self,
+        ctx: &SolveContext,
+        start: Allocation,
+        budget_w: f64,
+        span: &Span,
+    ) -> (Allocation, f64, usize, usize) {
+        let mut st = Scratch::new(ctx.n_tx, ctx.n_rx);
+        let mut cand = std::mem::take(&mut st.cand);
+        let mut x: Vec<f64> = start.as_slice().to_vec();
+        let mut f = ctx.objective(&x, &mut st);
+        let mut step = 0.1 * ctx.max_swing;
+        let mut iters = 0;
+        let mut evals = 1;
+        let mut _batch = Span::noop();
+        for it in 0..self.max_iters {
+            if span.is_enabled() && it % ITER_BATCH == 0 {
+                let b = span.child("alloc.optimal.iters");
+                b.attr("from_iter", &it.to_string());
+                _batch = b;
+            }
+            iters += 1;
+            ctx.gradient_cached(&x, &mut st);
+            let gnorm = st.grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if gnorm < 1e-14 {
+                break;
+            }
+            let mut improved = false;
+            let mut local_step = step;
+            for _ in 0..30 {
+                // One fused pass: `cand = x + step·g/gnorm`, the same value
+                // the dense path forms by cloning `x` then adding in place.
+                for ((c, &xv), g) in cand.iter_mut().zip(&x).zip(&st.grad) {
+                    *c = xv + local_step * g / gnorm;
+                }
+                project_slice(
+                    &mut cand,
+                    ctx.n_tx,
+                    ctx.n_rx,
+                    ctx.max_swing,
+                    ctx.r,
+                    budget_w,
+                );
+                let fc = ctx.objective(&cand, &mut st);
+                evals += 1;
+                if fc > f {
+                    let rel = (fc - f) / f.abs().max(1e-12);
+                    x.copy_from_slice(&cand);
+                    f = fc;
+                    improved = true;
+                    step = (local_step * 1.5).min(ctx.max_swing);
+                    if rel < self.tol {
+                        return (
+                            Allocation::from_swings(ctx.n_tx, ctx.n_rx, x),
+                            f,
+                            iters,
+                            evals,
+                        );
+                    }
+                    break;
+                }
+                local_step *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+        }
+        (
+            Allocation::from_swings(ctx.n_tx, ctx.n_rx, x),
+            f,
+            iters,
+            evals,
+        )
+    }
+
     /// Analytic gradient of `Σ_i ln(B·log2(1+SINR_i))` with respect to each
     /// swing `I_sw^{j,k}` (see module docs; verified against finite
     /// differences in the tests).
@@ -499,32 +941,14 @@ impl OptimalSolver {
     fn project(&self, model: &SystemModel, x: &mut Allocation, budget_w: f64) {
         let n_tx = x.n_tx();
         let n_rx = x.n_rx();
-        let max_swing = model.led.max_swing;
-        // Non-negativity.
-        for v in x.as_mut_slice() {
-            if !v.is_finite() || *v < 0.0 {
-                *v = 0.0;
-            }
-        }
-        // Per-TX swing cap: scale over-limit rows.
-        for t in 0..n_tx {
-            let total = x.tx_total_swing(t);
-            if total > max_swing {
-                let f = max_swing / total;
-                for r in 0..n_rx {
-                    let v = x.swing(t, r) * f;
-                    x.set_swing(t, r, v);
-                }
-            }
-        }
-        // Power ball: power scales quadratically under a global factor.
-        let p = model.comm_power(x);
-        if p > budget_w {
-            let f = (budget_w / p).sqrt();
-            for v in x.as_mut_slice() {
-                *v *= f;
-            }
-        }
+        project_slice(
+            x.as_mut_slice(),
+            n_tx,
+            n_rx,
+            model.led.max_swing,
+            model.dyn_resistance(),
+            budget_w,
+        );
     }
 }
 

@@ -20,7 +20,7 @@
 //! `vlc_obs::ObsOptions` — the exact flag set `densevlc-cli` takes.
 
 use densevlc::experiments::*;
-use vlc_bench::probes::{phase_probe, phy_probe};
+use vlc_bench::probes::{phase_probe, phy_probe, sparse_probe};
 use vlc_bench::{budget_sweep, rate_sweep};
 use vlc_led::LedParams;
 use vlc_obs::{
@@ -268,6 +268,7 @@ fn main() {
         if timing {
             phase_probe(&tracer, opts.jobs);
             phy_probe(&tracer);
+            sparse_probe(&tracer, opts.jobs);
         }
         first_reports.get_or_insert(reports);
     }

@@ -13,9 +13,13 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 use vlc_alloc::heuristic::heuristic_allocation_traced;
+use vlc_alloc::model::SystemModel;
 use vlc_alloc::{HeuristicConfig, OptimalSolver, WarmOptimal};
 use vlc_channel::nlos::NlosConfig;
-use vlc_channel::{lambertian_order, ChannelMatrix, NlosTxCache};
+use vlc_channel::{
+    lambertian_order, ChannelMatrix, FovMask, NlosTxCache, RxOptics, SparseChannelView,
+};
+use vlc_geom::{Pose, Room, TxGrid};
 use vlc_led::LedParams;
 use vlc_par::{Jobs, Pool};
 use vlc_phy::manchester::{manchester_decode, manchester_encode};
@@ -28,7 +32,7 @@ use vlc_phy::{Frame, FrameHeader, ReedSolomon};
 use vlc_sync::NlosSyncLink;
 use vlc_telemetry::Registry;
 use vlc_testbed::{Deployment, Scenario};
-use vlc_trace::Tracer;
+use vlc_trace::{Span, Tracer};
 
 /// Times the library's standard phases once under a `bench.phase_probe`
 /// root, so BENCH.json carries comparable per-phase rows (`channel.sound`,
@@ -97,6 +101,130 @@ pub fn phase_probe(tracer: &Tracer, jobs: Jobs) {
     warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
     // Unchanged channel: the replan is skipped (`alloc.optimal.cached`).
     warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
+}
+
+/// Times the SoA/sparse channel machinery under a `bench.sparse_probe`
+/// root: FOV-mask construction, masked vs dense channel sounding, CSR view
+/// builds, and the fast vs historical dense solver engines — once at the
+/// paper's 36 × 4 geometry (90° receivers: nothing culls, the fused lane
+/// kernels carry the win) and once at a synthetic 144 × 16 building floor
+/// with 35° receivers (the regime where culling drops most links). Every
+/// row is a *new* span name (`sparse.*`), and each timed workload calls an
+/// untraced entry point inside the timing span, so all pre-existing BENCH
+/// rows keep their historical meaning and stay gate-comparable.
+pub fn sparse_probe(tracer: &Tracer, jobs: Jobs) {
+    let probe = tracer.root("bench.sparse_probe");
+    let pool = Pool::new(jobs);
+
+    // Paper geometry: Scenario 2, 36 TX / 4 RX, wide-open receivers.
+    let dep = Deployment::scenario(Scenario::Two);
+    let mask = {
+        let span = probe.child("sparse.fov.build.paper");
+        let mask = FovMask::compute(&dep.grid, &dep.receivers, &dep.optics.profile());
+        span.attr("live", &mask.live_count().to_string());
+        span.attr("culled", &mask.culled_count().to_string());
+        mask
+    };
+    let matrix = {
+        let _span = probe.child("sparse.channel.masked.paper");
+        ChannelMatrix::compute_masked_pooled(
+            &dep.grid,
+            &dep.receivers,
+            dep.half_power_semi_angle,
+            &dep.optics,
+            &[],
+            Some(&mask),
+            &pool,
+            &Span::noop(),
+        )
+    };
+    {
+        let span = probe.child("sparse.view.build.paper");
+        let view = SparseChannelView::from_matrix(&matrix);
+        span.attr("live_links", &view.live_links().to_string());
+    }
+    let solver = OptimalSolver::quick();
+    {
+        let _span = probe.child("sparse.solve.paper");
+        solver.solve_jobs(&dep.model, 1.2, jobs);
+    }
+    {
+        let _span = probe.child("sparse.solve.dense.paper");
+        solver.solve_dense_jobs(&dep.model, 1.2, jobs);
+    }
+
+    // Synthetic building floor: 144 TX / 16 narrow-FOV RX.
+    let room = Room {
+        width: 6.0,
+        depth: 6.0,
+        height: 3.0,
+        floor_reflectance: 0.6,
+    };
+    let grid = TxGrid::centered(&room, 12, 12, 0.5);
+    let optics = RxOptics {
+        fov_half_angle: 35f64.to_radians(),
+        ..RxOptics::paper()
+    };
+    let receivers: Vec<Pose> = (0..16)
+        .map(|i| {
+            let (ix, iy) = (i % 4, i / 4);
+            Pose::face_up((ix as f64 + 0.5) * 1.5, (iy as f64 + 0.5) * 1.5, 0.8)
+        })
+        .collect();
+    let mask = {
+        let span = probe.child("sparse.fov.build.building");
+        let mask = FovMask::compute(&grid, &receivers, &optics.profile());
+        span.attr("live", &mask.live_count().to_string());
+        span.attr("culled", &mask.culled_count().to_string());
+        mask
+    };
+    let hpsa = dep.half_power_semi_angle;
+    let dense_matrix = {
+        let _span = probe.child("sparse.channel.dense.building");
+        ChannelMatrix::compute_with_blockage_pooled(
+            &grid,
+            &receivers,
+            hpsa,
+            &optics,
+            &[],
+            &pool,
+            &Span::noop(),
+        )
+    };
+    let masked_matrix = {
+        let _span = probe.child("sparse.channel.masked.building");
+        ChannelMatrix::compute_masked_pooled(
+            &grid,
+            &receivers,
+            hpsa,
+            &optics,
+            &[],
+            Some(&mask),
+            &pool,
+            &Span::noop(),
+        )
+    };
+    assert_eq!(masked_matrix, dense_matrix, "conservative culling identity");
+    {
+        let span = probe.child("sparse.view.build.building");
+        let view = SparseChannelView::from_mask(&masked_matrix, &mask);
+        span.attr("live_links", &view.live_links().to_string());
+    }
+    let model = SystemModel::paper(masked_matrix);
+    let building_solver = OptimalSolver {
+        max_iters: 40,
+        random_starts: 1,
+        tol: 1e-7,
+        seed: 0x5eed,
+    };
+    {
+        let _span = probe.child("sparse.solve.building");
+        building_solver.solve_jobs(&model, 1.2, jobs);
+    }
+    {
+        let _span = probe.child("sparse.solve.dense.building");
+        building_solver.solve_dense_jobs(&model, 1.2, jobs);
+    }
 }
 
 /// Times the PHY fast path against its scalar reference under a

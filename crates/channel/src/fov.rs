@@ -1,0 +1,235 @@
+//! Sparse FOV culling: a precomputed per-RX bitset of in-cone TXs.
+//!
+//! Most TX–RX links in a dense deployment are geometrically zero — the TX
+//! sits outside the receiver's FOV cone, or behind its boresight plane, or
+//! the receiver is behind the emitter plane. [`FovMask`] evaluates exactly
+//! the pure-geometry zero conditions of [`crate::los_gain`] once per link
+//! (ignoring blockers, which can only zero *more* links), so the channel
+//! sweeps, the [`crate::ChannelUpdater`] dirty-column path, and the solver's
+//! [`crate::SparseChannelView`] can skip culled links entirely.
+//!
+//! The mask is **conservative**: it never culls a link whose scalar LOS
+//! gain is nonzero. A live link may still carry an exactly-zero gain (e.g.
+//! `cosᵐφ` underflow), which costs a wasted evaluation but never changes a
+//! result. `tests/soa_identity.rs` property-tests this invariant.
+
+use crate::lambertian::RxProfile;
+use vlc_geom::{Pose, TxGrid};
+use vlc_telemetry::Registry;
+
+/// Telemetry counter: links the FOV mask kept live.
+pub const COUNTER_FOV_LIVE: &str = "channel.fov.live";
+/// Telemetry counter: links the FOV mask culled.
+pub const COUNTER_FOV_CULLED: &str = "channel.fov.culled";
+
+/// The cheap cone test behind [`FovMask`]: true iff the link passes every
+/// pure-geometry gate of [`crate::los_gain`] — non-coincident devices,
+/// receiver in front of the emitter plane, emitter inside the receiver's
+/// FOV cone. Blockers are deliberately ignored (they only zero more
+/// links), which is what makes the mask conservative.
+pub fn cone_live(tx: &Pose, rx: &Pose, profile: &RxProfile) -> bool {
+    let ray = rx.position - tx.position;
+    let d2 = ray.norm_sq();
+    if d2 < 1e-12 {
+        return false;
+    }
+    let dir = ray / d2.sqrt();
+    let cos_phi = tx.boresight.dot(dir);
+    let cos_psi = rx.boresight.dot(-dir);
+    if cos_phi <= 0.0 || cos_psi <= 0.0 {
+        return false;
+    }
+    profile.in_cone_cos(cos_psi)
+}
+
+/// Per-RX bitset of in-cone TXs, precomputed with [`cone_live`].
+///
+/// Bits are stored row-major by receiver (`words_per_rx` u64 words per RX,
+/// TX index = bit index), so the per-receiver live set the solver and
+/// updater iterate is contiguous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FovMask {
+    n_tx: usize,
+    n_rx: usize,
+    words_per_rx: usize,
+    bits: Vec<u64>,
+    live: usize,
+}
+
+impl FovMask {
+    /// Evaluate the cone test for every TX pose × receiver pair.
+    pub fn compute_poses(txs: &[Pose], receivers: &[Pose], profile: &RxProfile) -> Self {
+        let n_tx = txs.len();
+        let n_rx = receivers.len();
+        let words_per_rx = n_tx.div_ceil(64).max(1);
+        let mut bits = vec![0u64; words_per_rx * n_rx];
+        let mut live = 0usize;
+        for (r, rx) in receivers.iter().enumerate() {
+            let row = &mut bits[r * words_per_rx..(r + 1) * words_per_rx];
+            for (t, tx) in txs.iter().enumerate() {
+                if cone_live(tx, rx, profile) {
+                    row[t / 64] |= 1u64 << (t % 64);
+                    live += 1;
+                }
+            }
+        }
+        FovMask {
+            n_tx,
+            n_rx,
+            words_per_rx,
+            bits,
+            live,
+        }
+    }
+
+    /// [`Self::compute_poses`] over a [`TxGrid`]'s emitters.
+    pub fn compute(grid: &TxGrid, receivers: &[Pose], profile: &RxProfile) -> Self {
+        Self::compute_poses(&grid.poses(), receivers, profile)
+    }
+
+    /// The degenerate all-ones mask (nothing culled) — what a 90°-FOV
+    /// ceiling deployment over upward receivers collapses to.
+    pub fn all_live(n_tx: usize, n_rx: usize) -> Self {
+        let words_per_rx = n_tx.div_ceil(64).max(1);
+        let mut bits = vec![0u64; words_per_rx * n_rx];
+        for r in 0..n_rx {
+            let row = &mut bits[r * words_per_rx..(r + 1) * words_per_rx];
+            for t in 0..n_tx {
+                row[t / 64] |= 1u64 << (t % 64);
+            }
+        }
+        FovMask {
+            n_tx,
+            n_rx,
+            words_per_rx,
+            bits,
+            live: n_tx * n_rx,
+        }
+    }
+
+    /// Number of transmitters the mask covers.
+    pub fn n_tx(&self) -> usize {
+        self.n_tx
+    }
+
+    /// Number of receivers the mask covers.
+    pub fn n_rx(&self) -> usize {
+        self.n_rx
+    }
+
+    /// Whether TX `tx` is inside receiver `rx`'s FOV cone.
+    #[inline]
+    pub fn is_live(&self, tx: usize, rx: usize) -> bool {
+        assert!(tx < self.n_tx && rx < self.n_rx, "link index out of range");
+        self.bits[rx * self.words_per_rx + tx / 64] & (1u64 << (tx % 64)) != 0
+    }
+
+    /// Total number of live (in-cone) links.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Total number of culled links.
+    pub fn culled_count(&self) -> usize {
+        self.n_tx * self.n_rx - self.live
+    }
+
+    /// Ascending TX indices live for receiver `rx`.
+    pub fn live_txs(&self, rx: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(rx < self.n_rx, "rx index out of range");
+        let row = &self.bits[rx * self.words_per_rx..(rx + 1) * self.words_per_rx];
+        let n_tx = self.n_tx;
+        row.iter().enumerate().flat_map(move |(w, &word)| {
+            let base = w * 64;
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| base + b)
+                .filter(move |&t| t < n_tx)
+        })
+    }
+
+    /// Record the mask's live/culled split on the
+    /// `channel.fov.live` / `channel.fov.culled` counters.
+    pub fn record(&self, telemetry: &Registry) {
+        telemetry.counter(COUNTER_FOV_LIVE).add(self.live as u64);
+        telemetry
+            .counter(COUNTER_FOV_CULLED)
+            .add(self.culled_count() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lambertian::{los_gain, RxOptics};
+    use vlc_geom::{Room, Vec3};
+
+    #[test]
+    fn paper_geometry_culls_nothing() {
+        // 90° FOV upward receivers under a ceiling grid: every link passes
+        // the cone test.
+        let room = Room::paper_testbed();
+        let grid = TxGrid::paper(&room);
+        let receivers = vec![Pose::face_up(0.75, 2.25, 0.8), Pose::face_up(2.0, 1.0, 0.8)];
+        let mask = FovMask::compute(&grid, &receivers, &RxOptics::paper().profile());
+        assert_eq!(mask.live_count(), grid.len() * receivers.len());
+        assert_eq!(mask.culled_count(), 0);
+    }
+
+    #[test]
+    fn narrow_fov_culls_off_axis_links_conservatively() {
+        let room = Room::paper_testbed();
+        let grid = TxGrid::paper(&room);
+        let optics = RxOptics {
+            fov_half_angle: 20f64.to_radians(),
+            ..RxOptics::paper()
+        };
+        let m = crate::lambertian_order(15f64.to_radians());
+        let receivers = vec![Pose::face_up(0.75, 2.25, 0.8), Pose::face_up(2.6, 3.8, 0.8)];
+        let mask = FovMask::compute(&grid, &receivers, &optics.profile());
+        assert!(mask.culled_count() > 0, "20° FOV should cull distant TXs");
+        // Conservative: every nonzero-gain link is live, and the live list
+        // iterator agrees with the bit probe.
+        for (r, rx) in receivers.iter().enumerate() {
+            let live: Vec<usize> = mask.live_txs(r).collect();
+            for t in 0..grid.len() {
+                let g = los_gain(&grid.pose(t), rx, m, &optics);
+                if g != 0.0 {
+                    assert!(mask.is_live(t, r), "culled nonzero link tx={t} rx={r}");
+                }
+                assert_eq!(live.contains(&t), mask.is_live(t, r));
+            }
+        }
+    }
+
+    #[test]
+    fn all_live_matches_wide_open_compute() {
+        let txs = vec![Pose::ceiling(0.5, 0.5, 2.8), Pose::ceiling(1.5, 0.5, 2.8)];
+        let rxs = vec![Pose::face_up(1.0, 0.5, 0.8)];
+        let computed = FovMask::compute_poses(&txs, &rxs, &RxOptics::paper().profile());
+        assert_eq!(computed, FovMask::all_live(2, 1));
+    }
+
+    #[test]
+    fn counters_record_live_and_culled() {
+        let telemetry = Registry::new();
+        let mask = FovMask::all_live(3, 2);
+        mask.record(&telemetry);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter(COUNTER_FOV_LIVE), Some(6));
+        assert_eq!(snap.counter(COUNTER_FOV_CULLED), Some(0));
+    }
+
+    #[test]
+    fn sideways_receiver_culls_behind_links() {
+        // A receiver looking along +X can never see a TX at -X.
+        let txs = vec![
+            Pose::ceiling(-1.0, 0.0, 1.0),
+            Pose::new(Vec3::new(2.0, 0.0, 1.0), -Vec3::X),
+        ];
+        let rx = Pose::new(Vec3::new(0.0, 0.0, 1.0), Vec3::X);
+        let mask = FovMask::compute_poses(&txs, &[rx], &RxOptics::paper().profile());
+        assert!(!mask.is_live(0, 0));
+        assert!(mask.is_live(1, 0));
+    }
+}

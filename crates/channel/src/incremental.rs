@@ -20,7 +20,8 @@
 //! `epsilon_m` deliberately trades staleness (bounded by ε) for speed.
 
 use crate::blockage::{any_blocks, CylinderBlocker};
-use crate::lambertian::{lambertian_order, los_gain, RxOptics};
+use crate::fov::{COUNTER_FOV_CULLED, COUNTER_FOV_LIVE};
+use crate::lambertian::{lambertian_order, los_gain_profiled, RxOptics};
 use crate::matrix::ChannelMatrix;
 use vlc_geom::{Pose, TxGrid};
 use vlc_par::{Jobs, Pool};
@@ -65,6 +66,11 @@ pub struct ChannelUpdater {
     clear: Vec<f64>,
     /// Occlusion mask, row-major `n_tx × n_rx`.
     blocked: Vec<bool>,
+    /// Per-column ascending live-TX lists: the indices with nonzero clear
+    /// gain, rebuilt whenever a column is recomputed. The partial path
+    /// re-tests occlusion only for these links — a dead link masks to the
+    /// same exact zero whether or not a blocker crosses it.
+    live: Vec<Vec<u32>>,
     primed: bool,
 }
 
@@ -99,6 +105,7 @@ impl ChannelUpdater {
             blockers: Vec::new(),
             clear: Vec::new(),
             blocked: Vec::new(),
+            live: Vec::new(),
             primed: false,
         }
     }
@@ -143,6 +150,7 @@ impl ChannelUpdater {
             self.poses = receivers.to_vec();
             self.clear = vec![0.0; n_tx * n_rx];
             self.blocked = vec![false; n_tx * n_rx];
+            self.live = vec![Vec::new(); n_rx];
         }
         let blockers_changed = !self.primed || self.blockers != blockers;
 
@@ -172,8 +180,9 @@ impl ChannelUpdater {
         // the new LOS column (misses only) and occlusion column.
         let grid = &self.grid;
         let m = self.lambertian_m;
-        let optics = self.optics;
+        let profile = self.optics.profile();
         let poses = &self.poses;
+        let live = &self.live;
         // New LOS gains (misses only) plus the occlusion column.
         type DirtyCol = (Option<Vec<f64>>, Vec<bool>);
         let cols: Vec<Option<DirtyCol>> = pool.map_indexed(n_rx, |r| {
@@ -184,22 +193,33 @@ impl ChannelUpdater {
                     // Pose unchanged (within ε): keep the cached LOS gains,
                     // re-test occlusion against the pose they were computed
                     // for so gains and mask stay geometrically consistent.
+                    // Only the live (nonzero-gain) links are re-tested: a
+                    // dead link masks to the same exact zero either way and
+                    // never counts as blocked.
                     let pose = poses[r];
-                    let mask = (0..n_tx)
-                        .map(|t| any_blocks(blockers, grid.pose(t).position, pose.position))
-                        .collect();
+                    let mut mask = vec![false; n_tx];
+                    for &t in &live[r] {
+                        let t = t as usize;
+                        mask[t] = any_blocks(blockers, grid.pose(t).position, pose.position);
+                    }
                     Some((None, mask))
                 }
                 Col::Miss => {
                     let _col = span.child_indexed("channel.update.col", r);
                     let pose = receivers[r];
                     let mut gains = Vec::with_capacity(n_tx);
-                    let mut mask = Vec::with_capacity(n_tx);
                     for t in 0..n_tx {
-                        let tx = grid.pose(t);
-                        gains.push(los_gain(&tx, &pose, m, &optics));
-                        mask.push(any_blocks(blockers, tx.position, pose.position));
+                        gains.push(los_gain_profiled(&grid.pose(t), &pose, m, &profile));
                     }
+                    // Occlusion only matters where the clear gain is
+                    // nonzero; dead links keep a clear `false` mask.
+                    let mask = gains
+                        .iter()
+                        .enumerate()
+                        .map(|(t, &g)| {
+                            g != 0.0 && any_blocks(blockers, grid.pose(t).position, pose.position)
+                        })
+                        .collect();
                     Some((Some(gains), mask))
                 }
             }
@@ -221,10 +241,15 @@ impl ChannelUpdater {
                 (Col::Miss, Some((Some(gains), mask))) => {
                     misses += 1;
                     self.poses[r] = receivers[r];
+                    let mut col_live = Vec::new();
                     for (t, (&gain, &blocked)) in gains.iter().zip(mask.iter()).enumerate() {
                         self.clear[t * n_rx + r] = gain;
                         self.blocked[t * n_rx + r] = blocked;
+                        if gain != 0.0 {
+                            col_live.push(t as u32);
+                        }
                     }
+                    self.live[r] = col_live;
                 }
                 _ => unreachable!("column result matches its class"),
             }
@@ -257,6 +282,13 @@ impl ChannelUpdater {
             .counter("channel.cache.partial")
             .add(partials as u64);
         telemetry.counter("channel.cache.miss").add(misses as u64);
+        // FOV-culling effectiveness of this tick's occlusion re-tests:
+        // live links were (or would be) tested, dead ones skipped.
+        let live_links: usize = self.live.iter().map(Vec::len).sum();
+        telemetry.counter(COUNTER_FOV_LIVE).add(live_links as u64);
+        telemetry
+            .counter(COUNTER_FOV_CULLED)
+            .add((n_tx * n_rx - live_links) as u64);
 
         ChannelUpdate {
             matrix: ChannelMatrix::from_gains(n_tx, n_rx, gains),

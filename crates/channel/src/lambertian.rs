@@ -38,12 +38,148 @@ impl RxOptics {
     /// Concentrator-plus-filter gain `g(ψ)` for an incidence angle `ψ`:
     /// `n² / sin²(Ψc)` inside the FOV, zero outside.
     pub fn gain(&self, incidence: f64) -> f64 {
-        if incidence <= self.fov_half_angle {
-            let n = self.concentrator_index;
-            self.filter_gain * n * n / self.fov_half_angle.sin().powi(2)
+        self.profile().gain(incidence)
+    }
+
+    /// Precompute the per-receiver constants the hot kernels need: the
+    /// peak concentrator gain (hoisting the `sin²(Ψc)` that [`Self::gain`]
+    /// historically recomputed per call) and the FOV cone threshold shared
+    /// with [`crate::FovMask`].
+    pub fn profile(&self) -> RxProfile {
+        let n = self.concentrator_index;
+        RxProfile {
+            fov_half_angle: self.fov_half_angle,
+            collection_area_m2: self.collection_area_m2,
+            peak_gain: self.filter_gain * n * n / self.fov_half_angle.sin().powi(2),
+            cos_fov_threshold: cos_fov_threshold(self.fov_half_angle),
+        }
+    }
+}
+
+/// Precomputed receiver-optics constants for the fused channel kernels.
+///
+/// [`RxOptics::gain`] evaluates `filter_gain · n² / sin²(Ψc)` on every
+/// call even though every operand is a per-receiver constant; the profile
+/// hoists that into [`RxProfile::peak_gain`] once. Both the LOS/NLOS
+/// kernels and the [`crate::FovMask`] cone test go through the same
+/// [`RxProfile::in_cone`] predicate, so there is exactly one definition of
+/// "inside the field of view".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RxProfile {
+    /// Field of view half-angle `Ψc` in radians (copied from [`RxOptics`]).
+    pub fov_half_angle: f64,
+    /// Photodiode collection area `Apd` in m² (copied from [`RxOptics`]).
+    pub collection_area_m2: f64,
+    /// Constant in-FOV gain `filter_gain · n² / sin²(Ψc)` — bitwise equal
+    /// to what [`RxOptics::gain`] computes, since every operand is a
+    /// constant of the optics.
+    pub peak_gain: f64,
+    /// Smallest representable cosine whose `clamp`-then-`acos` recovered
+    /// incidence angle still lies inside the cone — bisected once against
+    /// the platform `acos` (see [`cos_fov_threshold`]) so the hot kernels
+    /// can replace the per-patch `acos` of [`Self::gain_from_cos`] with one
+    /// comparison that takes the exact same branch for every input.
+    pub cos_fov_threshold: f64,
+}
+
+/// The exact cosine threshold of the FOV cone test: the smallest `c` in
+/// `[-1, 1]` with `acos(c) ≤ Ψc`, found by bisecting the *ordered* f64 bit
+/// space against the platform `acos` (monotone non-increasing, so the
+/// predicate `acos(c) ≤ Ψc` is monotone in `c` and the bisection is exact).
+/// `clamp(cos, -1, 1) ≥ threshold` then reproduces
+/// `acos(clamp(cos, -1, 1)) ≤ Ψc` bit-for-bit for every input, including
+/// the out-of-range and NaN cases (`NaN.clamp` stays NaN and fails both
+/// predicates). A negative or NaN half-angle admits no cosine at all
+/// (`acos(1) == +0.0 > Ψc`), encoded as a `+∞` threshold.
+pub fn cos_fov_threshold(fov_half_angle: f64) -> f64 {
+    if fov_half_angle.is_nan() || fov_half_angle < 0.0 {
+        return f64::INFINITY;
+    }
+    if (-1.0f64).acos() <= fov_half_angle {
+        return -1.0;
+    }
+    // Invariant: acos(lo) > Ψc, acos(hi) ≤ Ψc (acos(1) == +0.0 ≤ Ψc here).
+    let (mut lo, mut hi) = (ord_key(-1.0), ord_key(1.0));
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if from_ord_key(mid).acos() <= fov_half_angle {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    from_ord_key(hi)
+}
+
+/// Monotone map from f64 to u64 preserving the numeric order of finite
+/// values (the standard sign-flip trick), so [`cos_fov_threshold`] can
+/// bisect over *representable* cosines instead of midpoints that may skip
+/// or repeat values.
+fn ord_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 0 {
+        b | 0x8000_0000_0000_0000
+    } else {
+        !b
+    }
+}
+
+/// Inverse of [`ord_key`].
+fn from_ord_key(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & 0x7fff_ffff_ffff_ffff)
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+impl RxProfile {
+    /// The FOV cone test: `ψ ≤ Ψc`. The single shared predicate behind
+    /// [`Self::gain`], [`Self::in_cone_cos`], and the [`crate::FovMask`]
+    /// cone test.
+    #[inline]
+    pub fn in_cone(&self, incidence: f64) -> bool {
+        incidence <= self.fov_half_angle
+    }
+
+    /// Concentrator-plus-filter gain `g(ψ)`: the precomputed peak inside
+    /// the FOV, zero outside. Bitwise identical to [`RxOptics::gain`].
+    #[inline]
+    pub fn gain(&self, incidence: f64) -> f64 {
+        if self.in_cone(incidence) {
+            self.peak_gain
         } else {
             0.0
         }
+    }
+
+    /// [`Self::gain`] from the cosine of the incidence angle, recovering
+    /// `ψ` exactly the way the scalar reference does
+    /// (`cos ψ` clamped to `[-1, 1]`, then `acos`).
+    #[inline]
+    pub fn gain_from_cos(&self, cos_incidence: f64) -> f64 {
+        self.gain(cos_incidence.clamp(-1.0, 1.0).acos())
+    }
+
+    /// [`Self::gain_from_cos`] without the per-call `acos`: one comparison
+    /// against the bisected [`Self::cos_fov_threshold`], which takes the
+    /// same branch for every representable input (see
+    /// [`cos_fov_threshold`]). The quadrature lane kernels call this per
+    /// patch; the `acos` form stays as the scalar reference.
+    #[inline]
+    pub fn gain_from_cos_fast(&self, cos_incidence: f64) -> f64 {
+        if cos_incidence.clamp(-1.0, 1.0) >= self.cos_fov_threshold {
+            self.peak_gain
+        } else {
+            0.0
+        }
+    }
+
+    /// [`Self::in_cone`] from the cosine of the incidence angle, with the
+    /// same clamp-then-`acos` recovery as the reference path.
+    #[inline]
+    pub fn in_cone_cos(&self, cos_incidence: f64) -> bool {
+        self.in_cone(cos_incidence.clamp(-1.0, 1.0).acos())
     }
 }
 
@@ -89,6 +225,41 @@ pub fn los_gain(tx: &Pose, rx: &Pose, lambertian_m: f64, optics: &RxOptics) -> f
         return 0.0;
     }
     (lambertian_m + 1.0) * optics.collection_area_m2 / (2.0 * std::f64::consts::PI * d2)
+        * cos_phi.powf(lambertian_m)
+        * g
+        * cos_psi
+}
+
+/// [`los_gain`] with a precomputed [`RxProfile`]: the fused kernel behind
+/// the SoA channel sweeps. One subtraction, one squared norm, and one
+/// square root serve both the irradiation and incidence cosines (the
+/// reference path normalizes the TX→RX ray three times), and the
+/// concentrator peak comes from the profile instead of a per-call `sin²`.
+///
+/// Bitwise identical to [`los_gain`] — pinned by the
+/// `tests/soa_identity.rs` proptests. The only representational
+/// difference is the sign of zero in components of the negated ray
+/// direction, which can only flip the sign of a *zero* `cos ψ`, and both
+/// signed zeros take the same `≤ 0` early-out.
+pub fn los_gain_profiled(tx: &Pose, rx: &Pose, lambertian_m: f64, profile: &RxProfile) -> f64 {
+    let ray = rx.position - tx.position;
+    let d2 = ray.norm_sq();
+    if d2 < 1e-12 {
+        return 0.0; // coincident devices: undefined geometry, no coupling
+    }
+    // d² ≥ 1e-12 ⟹ ‖ray‖ ≥ 1e-6 > 1e-12, so the reference
+    // `try_normalized` always takes its `Some` branch here.
+    let dir = ray / d2.sqrt();
+    let cos_phi = tx.boresight.dot(dir);
+    let cos_psi = rx.boresight.dot(-dir);
+    if cos_phi <= 0.0 || cos_psi <= 0.0 {
+        return 0.0;
+    }
+    let g = profile.gain_from_cos(cos_psi);
+    if g == 0.0 {
+        return 0.0;
+    }
+    (lambertian_m + 1.0) * profile.collection_area_m2 / (2.0 * std::f64::consts::PI * d2)
         * cos_phi.powf(lambertian_m)
         * g
         * cos_psi
@@ -203,6 +374,100 @@ mod tests {
     #[should_panic(expected = "half-power semi-angle")]
     fn zero_semi_angle_panics() {
         lambertian_order(0.0);
+    }
+
+    #[test]
+    fn profile_peak_matches_per_call_gain_bitwise() {
+        for optics in [
+            RxOptics::paper(),
+            RxOptics {
+                fov_half_angle: 35f64.to_radians(),
+                concentrator_index: 1.5,
+                filter_gain: 0.9,
+                ..RxOptics::paper()
+            },
+        ] {
+            let profile = optics.profile();
+            for psi in [
+                0.0,
+                0.3,
+                optics.fov_half_angle,
+                optics.fov_half_angle + 1e-9,
+                1.5,
+            ] {
+                assert_eq!(optics.gain(psi).to_bits(), profile.gain(psi).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_cone_gain_matches_acos_reference_bitwise() {
+        for fov_deg in [
+            0.0, 1e-6, 10.0, 35.0, 60.0, 89.999, 90.0, 120.0, 179.9, 180.0,
+        ] {
+            let profile = RxOptics {
+                fov_half_angle: f64::to_radians(fov_deg),
+                ..RxOptics::paper()
+            }
+            .profile();
+            let t = profile.cos_fov_threshold;
+            // Dense scan around the bisected boundary (where a monotonicity
+            // defect in the platform acos would show), plus a coarse sweep
+            // of the whole clamp range and the out-of-range/NaN inputs.
+            let mut probes = vec![-1.5, -1.0, -0.5, 0.0, 0.5, 1.0, 1.5, f64::NAN];
+            let mut c = t;
+            for _ in 0..500 {
+                c = f64::from_bits(c.to_bits() + 1); // next toward ±∞ magnitude
+                probes.push(c);
+            }
+            let mut c = t;
+            for _ in 0..500 {
+                c = f64::from_bits(c.to_bits().wrapping_sub(1));
+                probes.push(c);
+            }
+            for step in 0..2000 {
+                probes.push(-1.0 + step as f64 / 1000.0);
+            }
+            for &cos in probes.iter().filter(|c| c.is_finite() || c.is_nan()) {
+                assert_eq!(
+                    profile.gain_from_cos_fast(cos).to_bits(),
+                    profile.gain_from_cos(cos).to_bits(),
+                    "fov {fov_deg}° cos {cos:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_los_gain_is_bitwise_identical_to_reference() {
+        let m = m15();
+        let optics = RxOptics {
+            fov_half_angle: 60f64.to_radians(),
+            ..RxOptics::paper()
+        };
+        let profile = optics.profile();
+        let cases = [
+            (
+                Pose::ceiling(0.75, 2.25, 2.8),
+                Pose::face_up(0.75, 2.25, 0.8),
+            ),
+            (Pose::ceiling(0.0, 0.0, 2.0), Pose::face_up(0.5, 0.0, 0.0)),
+            // Directly-overhead axis-aligned pair: exercises zero ray
+            // components (the sign-of-zero corner of the fused kernel).
+            (Pose::ceiling(1.0, 1.0, 2.8), Pose::face_up(1.0, 1.0, 0.8)),
+            // Out of FOV, behind emitter, coincident.
+            (
+                Pose::ceiling(0.0, 0.0, 2.0),
+                Pose::new(Vec3::new(0.0, 0.0, 0.0), Vec3::X),
+            ),
+            (Pose::ceiling(0.0, 0.0, 2.0), Pose::face_up(0.0, 0.0, 2.5)),
+            (Pose::ceiling(0.0, 0.0, 2.0), Pose::face_up(0.0, 0.0, 2.0)),
+        ];
+        for (tx, rx) in cases {
+            let reference = los_gain(&tx, &rx, m, &optics);
+            let fused = los_gain_profiled(&tx, &rx, m, &profile);
+            assert_eq!(reference.to_bits(), fused.to_bits(), "tx {tx:?} rx {rx:?}");
+        }
     }
 
     #[test]

@@ -25,12 +25,18 @@
 //!   quadratures at roughly half the per-call cost.
 //! * [`incremental`] — dirty-column [`ChannelMatrix`] updates
 //!   ([`ChannelUpdater`]) that recompute only the receivers that moved.
+//! * [`fov`] — sparse FOV culling: a conservative per-RX bitset of in-cone
+//!   TXs ([`FovMask`]) so sweeps and solvers skip geometrically-zero links.
+//! * [`soa`] — structure-of-arrays views: the per-RX transpose
+//!   ([`ChannelSoA`]), CSR live-link lists ([`SparseChannelView`]), and
+//!   split pose coordinates ([`PoseSoA`]) behind the lane-batched kernels.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ambient;
 pub mod blockage;
+pub mod fov;
 pub mod incremental;
 pub mod lambertian;
 pub mod matrix;
@@ -38,11 +44,14 @@ pub mod nlos;
 pub mod nlos_cache;
 pub mod noise;
 pub mod photometry;
+pub mod soa;
 
 pub use blockage::CylinderBlocker;
+pub use fov::FovMask;
 pub use incremental::{ChannelUpdate, ChannelUpdater};
-pub use lambertian::{lambertian_order, los_gain, RxOptics};
+pub use lambertian::{lambertian_order, los_gain, los_gain_profiled, RxOptics, RxProfile};
 pub use matrix::ChannelMatrix;
 pub use nlos_cache::NlosTxCache;
 pub use noise::{AwgnChannel, NoiseParams};
 pub use photometry::{IlluminanceMap, IlluminanceStats};
+pub use soa::{ChannelSoA, PoseSoA, SparseChannelView};

@@ -14,7 +14,8 @@
 //! see — to quantify what the paper's LOS-only SINR model (Eq. 12)
 //! neglects (well under 1 % for this geometry).
 
-use crate::lambertian::RxOptics;
+use crate::lambertian::{RxOptics, RxProfile};
+use crate::soa::LANE;
 use serde::{Deserialize, Serialize};
 use vlc_geom::{Pose, Room, Vec3};
 use vlc_par::{Jobs, Pool};
@@ -119,17 +120,77 @@ pub fn floor_bounce_gain_pooled(
     assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
     let da = cfg.patch_size_m * cfg.patch_size_m;
     let (nx, ny) = floor_grid(room, cfg);
+    let profile = optics.profile();
+    // Split patch x coordinates once per call — the same `(ix + 0.5)·patch`
+    // expression the scalar reference evaluates per patch, hoisted out of
+    // the row sweep.
+    let xs: Vec<f64> = (0..nx)
+        .map(|ix| (ix as f64 + 0.5) * cfg.patch_size_m)
+        .collect();
     let floor = parent.child("channel.nlos.floor");
     floor.attr("rows", &ny.to_string());
     let row_sums = pool.map_indexed(ny, |iy| {
         let _row = floor.child_indexed("channel.nlos.floor.row", iy);
+        let wy = (iy as f64 + 0.5) * cfg.patch_size_m;
+        let mut row = 0.0;
+        let tail = nx - nx % LANE;
+        for base in (0..tail).step_by(LANE) {
+            let lane = floor_row_lane(
+                tx,
+                rx,
+                &xs[base..base + LANE],
+                wy,
+                lambertian_m,
+                &profile,
+                room.floor_reflectance,
+            );
+            // Lane results fold into the row strictly in patch order: the
+            // batch reorders computation, never the fixed-order sum.
+            for &c in &lane {
+                row += c;
+            }
+        }
+        for &x in &xs[tail..] {
+            let w = Vec3::new(x, wy, 0.0);
+            row += patch_contribution_fused(
+                tx,
+                rx,
+                w,
+                Vec3::UP,
+                lambertian_m,
+                &profile,
+                room.floor_reflectance,
+            );
+        }
+        row
+    });
+    row_sums.iter().sum::<f64>() * da
+}
+
+/// Scalar bit-identity reference for [`floor_bounce_gain`]: the historical
+/// sequential per-patch loop, retained verbatim (the repo's fast-vs-scalar
+/// reference pattern) so `tests/soa_identity.rs` can pin the lane kernel
+/// against it bitwise.
+pub fn floor_bounce_gain_scalar(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+) -> f64 {
+    assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
+    let da = cfg.patch_size_m * cfg.patch_size_m;
+    let (nx, ny) = floor_grid(room, cfg);
+    let mut row_sums = Vec::with_capacity(ny);
+    for iy in 0..ny {
         let mut row = 0.0;
         for ix in 0..nx {
             let w = floor_patch_center(cfg, ix, iy);
             row += patch_contribution(tx, rx, w, lambertian_m, optics, room.floor_reflectance);
         }
-        row
-    });
+        row_sums.push(row);
+    }
     row_sums.iter().sum::<f64>() * da
 }
 
@@ -211,11 +272,72 @@ pub fn wall_bounce_gain_pooled(
     assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
     let da = cfg.patch_size_m * cfg.patch_size_m;
     let (columns, nz) = wall_columns(room, cfg);
+    let profile = optics.profile();
+    // Split patch z coordinates once per call, shared by every column.
+    let zs: Vec<f64> = (0..nz)
+        .map(|iz| (iz as f64 + 0.5) * cfg.patch_size_m)
+        .collect();
     let wall = parent.child("channel.nlos.wall");
     wall.attr("cols", &columns.len().to_string());
     let column_sums = pool.map_indexed(columns.len(), |c| {
         let _col = wall.child_indexed("channel.nlos.wall.col", c);
         let (origin, axis, normal, iu) = columns[c];
+        // The reference `wall_patch_center` evaluates
+        // `(origin + axis·u) + Z·z` left-associated; hoisting the
+        // column-constant first addend changes nothing bitwise.
+        let base_w = origin + axis * ((iu as f64 + 0.5) * cfg.patch_size_m);
+        let mut col = 0.0;
+        let mut lane = [0.0f64; LANE];
+        let tail = nz - nz % LANE;
+        for base in (0..tail).step_by(LANE) {
+            for (l, slot) in lane.iter_mut().enumerate() {
+                let w = base_w + Vec3::Z * zs[base + l];
+                *slot = patch_contribution_fused(
+                    tx,
+                    rx,
+                    w,
+                    normal,
+                    lambertian_m,
+                    &profile,
+                    room.floor_reflectance,
+                );
+            }
+            for &contribution in &lane {
+                col += contribution;
+            }
+        }
+        for &z in &zs[tail..] {
+            let w = base_w + Vec3::Z * z;
+            col += patch_contribution_fused(
+                tx,
+                rx,
+                w,
+                normal,
+                lambertian_m,
+                &profile,
+                room.floor_reflectance,
+            );
+        }
+        col
+    });
+    column_sums.iter().sum::<f64>() * da
+}
+
+/// Scalar bit-identity reference for [`wall_bounce_gain`] — see
+/// [`floor_bounce_gain_scalar`].
+pub fn wall_bounce_gain_scalar(
+    tx: &Pose,
+    rx: &Pose,
+    lambertian_m: f64,
+    optics: &RxOptics,
+    room: &Room,
+    cfg: &NlosConfig,
+) -> f64 {
+    assert!(cfg.patch_size_m > 0.0, "patch size must be positive");
+    let da = cfg.patch_size_m * cfg.patch_size_m;
+    let (columns, nz) = wall_columns(room, cfg);
+    let mut column_sums = Vec::with_capacity(columns.len());
+    for &(origin, axis, normal, iu) in &columns {
         let mut col = 0.0;
         for iz in 0..nz {
             let w = wall_patch_center(cfg, origin, axis, iu, iz);
@@ -229,8 +351,8 @@ pub fn wall_bounce_gain_pooled(
                 room.floor_reflectance,
             );
         }
-        col
-    });
+        column_sums.push(col);
+    }
     column_sums.iter().sum::<f64>() * da
 }
 
@@ -343,6 +465,140 @@ pub(crate) fn patch_rx_leg(rx: &Pose, w: Vec3, normal: Vec3, optics: &RxOptics) 
         return 0.0;
     }
     optics.collection_area_m2 * g / (std::f64::consts::PI * d2_sq) * cos_phi2 * cos_psi2
+}
+
+/// Four floor patches of one row, branch-free: the geometry pass
+/// (differences, squared norms, square roots, divisions, dot products)
+/// runs unconditionally across the lane so it vectorizes; only the
+/// `cosᵐ(φ1)` power is guarded, and every reference early-out becomes a
+/// skip that leaves the lane slot at literal `0.0` — exactly the value
+/// [`patch_contribution_fused`] returns on that path (division by a
+/// sub-threshold norm produces non-finite lanes the guards discard). The
+/// floor specialization folds the `UP`-normal dot products to single
+/// components; the dropped `±0` cross-terms can only flip the sign of a
+/// *zero* cosine, and both signed zeros fail the same `> 0` guard. Pinned
+/// bitwise against the scalar reference by `tests/soa_identity.rs`.
+fn floor_row_lane(
+    tx: &Pose,
+    rx: &Pose,
+    xs: &[f64],
+    wy: f64,
+    m: f64,
+    profile: &RxProfile,
+    reflectance: f64,
+) -> [f64; LANE] {
+    let tp = tx.position;
+    let tb = tx.boresight;
+    let rp = rx.position;
+    let rb = rx.boresight;
+    let mut d1_sq = [0.0f64; LANE];
+    let mut cos_phi1 = [0.0f64; LANE];
+    let mut cos_psi1 = [0.0f64; LANE];
+    let mut d2_sq = [0.0f64; LANE];
+    let mut cos_phi2 = [0.0f64; LANE];
+    let mut cos_psi2 = [0.0f64; LANE];
+    for l in 0..LANE {
+        // TX → patch leg: v1 = w − tx, dir1 = v1/‖v1‖, the reference's
+        // operand order component for component (w.z is literal 0.0).
+        let (vx, vy, vz) = (xs[l] - tp.x, wy - tp.y, 0.0 - tp.z);
+        let dsq = vx * vx + vy * vy + vz * vz;
+        let d = dsq.sqrt();
+        let (ux, uy, uz) = (vx / d, vy / d, vz / d);
+        d1_sq[l] = dsq;
+        cos_phi1[l] = tb.x * ux + tb.y * uy + tb.z * uz;
+        cos_psi1[l] = -uz;
+        // Patch → RX leg.
+        let (sx, sy, sz) = (rp.x - xs[l], rp.y - wy, rp.z - 0.0);
+        let dsq2 = sx * sx + sy * sy + sz * sz;
+        let d2 = dsq2.sqrt();
+        let (ex, ey, ez) = (sx / d2, sy / d2, sz / d2);
+        d2_sq[l] = dsq2;
+        cos_phi2[l] = ez;
+        cos_psi2[l] = rb.x * (-ex) + rb.y * (-ey) + rb.z * (-ez);
+    }
+    let mut out = [0.0f64; LANE];
+    for l in 0..LANE {
+        if d1_sq[l] < 1e-9 || cos_phi1[l] <= 0.0 || cos_psi1[l] <= 0.0 {
+            continue;
+        }
+        let first_leg =
+            (m + 1.0) / (2.0 * std::f64::consts::PI * d1_sq[l]) * cos_phi1[l].powf(m) * cos_psi1[l];
+        let tx_leg = first_leg * reflectance;
+        if tx_leg == 0.0 || d2_sq[l] < 1e-9 || cos_phi2[l] <= 0.0 || cos_psi2[l] <= 0.0 {
+            continue;
+        }
+        let g = profile.gain_from_cos_fast(cos_psi2[l]);
+        if g == 0.0 {
+            continue;
+        }
+        out[l] = tx_leg
+            * (profile.collection_area_m2 * g / (std::f64::consts::PI * d2_sq[l])
+                * cos_phi2[l]
+                * cos_psi2[l]);
+    }
+    out
+}
+
+/// The fused single-bounce integrand behind the lane kernels: TX leg and
+/// RX leg with the shared geometry computed once each (one squared norm +
+/// one square root per leg, where the reference normalizes each ray two to
+/// three times) and the concentrator peak from the [`RxProfile`].
+///
+/// Bitwise identical to `patch_tx_leg · patch_rx_leg` — every early-out,
+/// operand, and association is replicated; the only representational
+/// deltas are signs of zero in negated ray components, which can only flip
+/// the sign of a *zero* cosine, and both signed zeros take the same `≤ 0`
+/// early-out. Pinned by `tests/soa_identity.rs`.
+pub(crate) fn patch_contribution_fused(
+    tx: &Pose,
+    rx: &Pose,
+    w: Vec3,
+    normal: Vec3,
+    m: f64,
+    profile: &RxProfile,
+    reflectance: f64,
+) -> f64 {
+    let v1 = w - tx.position;
+    let d1_sq = v1.norm_sq();
+    if d1_sq < 1e-9 {
+        return 0.0;
+    }
+    // d² ≥ 1e-9 ⟹ ‖v1‖ ≥ 3.2e-5, so the reference `try_normalized` /
+    // `normalized` paths are always in their non-degenerate branch here.
+    let dir1 = v1 / d1_sq.sqrt();
+    let cos_phi1 = tx.boresight.dot(dir1);
+    let cos_psi1 = (-dir1).dot(normal);
+    if cos_phi1 <= 0.0 || cos_psi1 <= 0.0 {
+        return 0.0;
+    }
+    let first_leg = (m + 1.0) / (2.0 * std::f64::consts::PI * d1_sq) * cos_phi1.powf(m) * cos_psi1;
+    let tx_leg = first_leg * reflectance;
+    if tx_leg == 0.0 {
+        return 0.0;
+    }
+    tx_leg * patch_rx_leg_profiled(rx, w, normal, profile)
+}
+
+/// Fused patch→RX leg with a precomputed [`RxProfile`] — bitwise identical
+/// to [`patch_rx_leg`] (same argument as [`patch_contribution_fused`]).
+/// Shared with the [`crate::nlos_cache`] cached sweeps.
+pub(crate) fn patch_rx_leg_profiled(rx: &Pose, w: Vec3, normal: Vec3, profile: &RxProfile) -> f64 {
+    let v2 = rx.position - w;
+    let d2_sq = v2.norm_sq();
+    if d2_sq < 1e-9 {
+        return 0.0;
+    }
+    let dir2 = v2 / d2_sq.sqrt();
+    let cos_phi2 = dir2.dot(normal);
+    let cos_psi2 = rx.boresight.dot(-dir2);
+    if cos_phi2 <= 0.0 || cos_psi2 <= 0.0 {
+        return 0.0;
+    }
+    let g = profile.gain_from_cos_fast(cos_psi2);
+    if g == 0.0 {
+        return 0.0;
+    }
+    profile.collection_area_m2 * g / (std::f64::consts::PI * d2_sq) * cos_phi2 * cos_psi2
 }
 
 /// Contribution density (per m² of floor) of one patch center `w`: the
@@ -533,6 +789,28 @@ mod tests {
         let rx = Pose::face_up(1.25, 0.75, 0.0);
         let h_floor = floor_bounce_gain(&tx, &rx, m, &optics, &room, &NlosConfig::default());
         assert_eq!(h_floor, 0.0);
+    }
+
+    #[test]
+    fn lane_kernels_match_scalar_references_bitwise() {
+        let (room, m, optics) = setup();
+        let grid = TxGrid::paper(&room);
+        let cfg = NlosConfig { patch_size_m: 0.07 }; // odd grid → scalar tail
+        for (tx, rx) in [
+            (grid.pose(1), grid.pose(2)),
+            (grid.pose(0), grid.pose(5)),
+            (
+                Pose::ceiling(0.75, 0.25, room.height),
+                Pose::face_up(0.75, 0.15, 0.0),
+            ),
+        ] {
+            let floor_fast = floor_bounce_gain(&tx, &rx, m, &optics, &room, &cfg);
+            let floor_ref = floor_bounce_gain_scalar(&tx, &rx, m, &optics, &room, &cfg);
+            assert_eq!(floor_fast.to_bits(), floor_ref.to_bits());
+            let wall_fast = wall_bounce_gain(&tx, &rx, m, &optics, &room, &cfg);
+            let wall_ref = wall_bounce_gain_scalar(&tx, &rx, m, &optics, &room, &cfg);
+            assert_eq!(wall_fast.to_bits(), wall_ref.to_bits());
+        }
     }
 
     #[test]

@@ -19,9 +19,10 @@
 
 use crate::lambertian::RxOptics;
 use crate::nlos::{
-    floor_grid, floor_patch_center, patch_rx_leg, patch_tx_leg, wall_columns, wall_patch_center,
-    NlosConfig,
+    floor_grid, floor_patch_center, patch_rx_leg_profiled, patch_tx_leg, wall_columns,
+    wall_patch_center, NlosConfig,
 };
+use crate::soa::LANE;
 use std::sync::Arc;
 use vlc_geom::{Pose, Room, Vec3};
 use vlc_par::{Jobs, Pool};
@@ -38,16 +39,29 @@ pub struct NlosTxCache {
     tx: Pose,
     room: Room,
     cfg: NlosConfig,
-    /// Floor grid shape.
-    nx: usize,
+    /// Floor grid row count.
     ny: usize,
-    /// `tx_leg` (including reflectance) per floor patch, `[iy · nx + ix]`.
-    floor_leg: Vec<f64>,
+    /// Split patch x coordinates, `xs[ix] = (ix + 0.5)·patch`.
+    xs: Vec<f64>,
+    /// CSR row pointers into the floor live-patch lists (`ny + 1` entries).
+    /// A patch is live iff its `tx_leg` is nonzero — the only patches that
+    /// can contribute (skipping exact `+0.0` terms of a non-negative
+    /// fixed-order sum is bitwise neutral).
+    floor_row_ptr: Vec<usize>,
+    /// `ix` of each live floor patch, ascending within a row.
+    floor_live_idx: Vec<u32>,
+    /// `tx_leg` (including reflectance) of each live floor patch.
+    floor_live_leg: Vec<f64>,
     /// Wall column list (origin, axis, inward normal, iu) and patch rows.
     columns: Vec<(Vec3, Vec3, Vec3, usize)>,
-    nz: usize,
-    /// `tx_leg` per wall patch, `[c · nz + iz]`.
-    wall_leg: Vec<f64>,
+    /// Split patch z coordinates, `zs[iz] = (iz + 0.5)·patch`.
+    zs: Vec<f64>,
+    /// CSR column pointers into the wall live-patch lists.
+    wall_col_ptr: Vec<usize>,
+    /// `iz` of each live wall patch, ascending within a column.
+    wall_live_idx: Vec<u32>,
+    /// `tx_leg` of each live wall patch.
+    wall_live_leg: Vec<f64>,
 }
 
 impl NlosTxCache {
@@ -110,16 +124,57 @@ impl NlosTxCache {
             .into_iter()
             .flatten()
             .collect();
+        // Compact the dense legs into CSR live-patch lists: the out-of-
+        // half-space patches (exact +0.0 legs) drop out of every future
+        // receiver sweep.
+        let mut floor_row_ptr = Vec::with_capacity(ny + 1);
+        let mut floor_live_idx = Vec::new();
+        let mut floor_live_leg = Vec::new();
+        floor_row_ptr.push(0);
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let leg = floor_leg[iy * nx + ix];
+                if leg != 0.0 {
+                    floor_live_idx.push(ix as u32);
+                    floor_live_leg.push(leg);
+                }
+            }
+            floor_row_ptr.push(floor_live_idx.len());
+        }
+        let mut wall_col_ptr = Vec::with_capacity(columns.len() + 1);
+        let mut wall_live_idx = Vec::new();
+        let mut wall_live_leg = Vec::new();
+        wall_col_ptr.push(0);
+        for c in 0..columns.len() {
+            for iz in 0..nz {
+                let leg = wall_leg[c * nz + iz];
+                if leg != 0.0 {
+                    wall_live_idx.push(iz as u32);
+                    wall_live_leg.push(leg);
+                }
+            }
+            wall_col_ptr.push(wall_live_idx.len());
+        }
+        let xs = (0..nx)
+            .map(|ix| (ix as f64 + 0.5) * cfg.patch_size_m)
+            .collect();
+        let zs = (0..nz)
+            .map(|iz| (iz as f64 + 0.5) * cfg.patch_size_m)
+            .collect();
         NlosTxCache {
             tx: *tx,
             room: *room,
             cfg: *cfg,
-            nx,
             ny,
-            floor_leg,
+            xs,
+            floor_row_ptr,
+            floor_live_idx,
+            floor_live_leg,
             columns,
-            nz,
-            wall_leg,
+            zs,
+            wall_col_ptr,
+            wall_live_idx,
+            wall_live_leg,
         }
     }
 
@@ -166,21 +221,30 @@ impl NlosTxCache {
         parent: &Span,
     ) -> f64 {
         let da = self.cfg.patch_size_m * self.cfg.patch_size_m;
+        let profile = optics.profile();
         let floor = parent.child("channel.nlos.floor.cached");
         floor.attr("rows", &self.ny.to_string());
         let row_sums = pool.map_indexed(self.ny, |iy| {
             let _row = floor.child_indexed("channel.nlos.floor.cached.row", iy);
+            let idx = &self.floor_live_idx[self.floor_row_ptr[iy]..self.floor_row_ptr[iy + 1]];
+            let legs = &self.floor_live_leg[self.floor_row_ptr[iy]..self.floor_row_ptr[iy + 1]];
+            let wy = (iy as f64 + 0.5) * self.cfg.patch_size_m;
             let mut row = 0.0;
-            for ix in 0..self.nx {
-                let tx_leg = self.floor_leg[iy * self.nx + ix];
-                if tx_leg == 0.0 {
-                    // The fused integrand is exactly +0.0 here and x + 0.0
-                    // never changes a non-negative partial sum, so skipping
-                    // keeps the row bitwise identical to the direct path.
-                    continue;
+            let mut lane = [0.0f64; LANE];
+            let tail = idx.len() - idx.len() % LANE;
+            for base in (0..tail).step_by(LANE) {
+                for (l, slot) in lane.iter_mut().enumerate() {
+                    let w = Vec3::new(self.xs[idx[base + l] as usize], wy, 0.0);
+                    *slot = legs[base + l] * patch_rx_leg_profiled(rx, w, Vec3::UP, &profile);
                 }
-                let w = floor_patch_center(&self.cfg, ix, iy);
-                row += tx_leg * patch_rx_leg(rx, w, Vec3::UP, optics);
+                // Lane results fold into the row strictly in patch order.
+                for &contribution in &lane {
+                    row += contribution;
+                }
+            }
+            for (k, &ix) in idx.iter().enumerate().skip(tail) {
+                let w = Vec3::new(self.xs[ix as usize], wy, 0.0);
+                row += legs[k] * patch_rx_leg_profiled(rx, w, Vec3::UP, &profile);
             }
             row
         });
@@ -209,19 +273,33 @@ impl NlosTxCache {
         parent: &Span,
     ) -> f64 {
         let da = self.cfg.patch_size_m * self.cfg.patch_size_m;
+        let profile = optics.profile();
         let wall = parent.child("channel.nlos.wall.cached");
         wall.attr("cols", &self.columns.len().to_string());
         let column_sums = pool.map_indexed(self.columns.len(), |c| {
             let _col = wall.child_indexed("channel.nlos.wall.cached.col", c);
             let (origin, axis, normal, iu) = self.columns[c];
+            let idx = &self.wall_live_idx[self.wall_col_ptr[c]..self.wall_col_ptr[c + 1]];
+            let legs = &self.wall_live_leg[self.wall_col_ptr[c]..self.wall_col_ptr[c + 1]];
+            // `wall_patch_center` evaluates `(origin + axis·u) + Z·z`
+            // left-associated; hoisting the column-constant first addend
+            // changes nothing bitwise.
+            let base_w = origin + axis * ((iu as f64 + 0.5) * self.cfg.patch_size_m);
             let mut col = 0.0;
-            for iz in 0..self.nz {
-                let tx_leg = self.wall_leg[c * self.nz + iz];
-                if tx_leg == 0.0 {
-                    continue;
+            let mut lane = [0.0f64; LANE];
+            let tail = idx.len() - idx.len() % LANE;
+            for base in (0..tail).step_by(LANE) {
+                for (l, slot) in lane.iter_mut().enumerate() {
+                    let w = base_w + Vec3::Z * self.zs[idx[base + l] as usize];
+                    *slot = legs[base + l] * patch_rx_leg_profiled(rx, w, normal, &profile);
                 }
-                let w = wall_patch_center(&self.cfg, origin, axis, iu, iz);
-                col += tx_leg * patch_rx_leg(rx, w, normal, optics);
+                for &contribution in &lane {
+                    col += contribution;
+                }
+            }
+            for (k, &iz) in idx.iter().enumerate().skip(tail) {
+                let w = base_w + Vec3::Z * self.zs[iz as usize];
+                col += legs[k] * patch_rx_leg_profiled(rx, w, normal, &profile);
             }
             col
         });
