@@ -511,6 +511,56 @@ impl OptimalSolver {
         )
     }
 
+    /// [`Self::solve_dense_jobs`] on a caller-supplied pool (see
+    /// [`Self::solve_traced_pooled`]): the dense-oracle A/B can share the
+    /// harness's hoisted pool instead of building one per solve.
+    pub fn solve_dense_pooled(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        pool: &Pool,
+    ) -> SolveReport {
+        self.solve_core_pooled(
+            model,
+            budget_w,
+            &Registry::noop(),
+            pool,
+            &Span::noop(),
+            None,
+            Engine::Dense,
+        )
+    }
+
+    /// [`Self::solve_traced_jobs`] on a caller-supplied pool: no pool is
+    /// created inside the solve, so a long-running control plane (or a
+    /// benchmark harness) can hoist one pool across every solve — watch
+    /// `par.pool.created` stay put.
+    pub fn solve_traced_pooled(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        telemetry: &Registry,
+        pool: &Pool,
+        parent: &Span,
+    ) -> SolveReport {
+        self.solve_core_pooled(model, budget_w, telemetry, pool, parent, None, Engine::Fast)
+    }
+
+    /// [`Self::solve_warm_traced_jobs`] on a caller-supplied pool (see
+    /// [`Self::solve_traced_pooled`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_warm_traced_pooled(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        warm: Option<&Allocation>,
+        telemetry: &Registry,
+        pool: &Pool,
+        parent: &Span,
+    ) -> SolveReport {
+        self.solve_core_pooled(model, budget_w, telemetry, pool, parent, warm, Engine::Fast)
+    }
+
     /// [`Self::solve`] seeded with a previous allocation (projected back
     /// onto the feasible set) as an extra ascent start.
     ///
@@ -562,6 +612,25 @@ impl OptimalSolver {
         budget_w: f64,
         telemetry: &Registry,
         jobs: Jobs,
+        parent: &Span,
+        warm: Option<&Allocation>,
+        engine: Engine,
+    ) -> SolveReport {
+        let pool = Pool::new(jobs).with_telemetry(telemetry);
+        self.solve_core_pooled(model, budget_w, telemetry, &pool, parent, warm, engine)
+    }
+
+    /// [`Self::solve_core`] minus the pool creation: every jobs-based
+    /// entry builds a throwaway pool above, every `_pooled` entry reuses
+    /// the caller's. Dispatch is identical either way, so both paths
+    /// produce bitwise-identical reports.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_core_pooled(
+        &self,
+        model: &SystemModel,
+        budget_w: f64,
+        telemetry: &Registry,
+        pool: &Pool,
         parent: &Span,
         warm: Option<&Allocation>,
         engine: Engine,
@@ -637,7 +706,6 @@ impl OptimalSolver {
         // Fan the independent ascents out, then reduce in start order: the
         // incumbent only changes on a strictly greater objective, so ties
         // keep the lowest start index — same as the sequential loop.
-        let pool = Pool::new(jobs).with_telemetry(telemetry);
         let ascents = pool.map_indexed(starts.len(), |i| {
             let start_span = trace.child_indexed("alloc.optimal.start", i);
             let mut start = starts[i].clone();
@@ -1027,6 +1095,39 @@ impl WarmOptimal {
         let warm = self.last.as_ref().map(|(_, _, r)| r.allocation.clone());
         let report =
             solver.solve_warm_traced_jobs(model, budget_w, warm.as_ref(), telemetry, jobs, parent);
+        self.last = Some((model.channel.clone(), budget_w, report.clone()));
+        report
+    }
+
+    /// [`Self::solve_traced_jobs`] on a caller-supplied pool (see
+    /// [`OptimalSolver::solve_traced_pooled`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_traced_pooled(
+        &mut self,
+        solver: &OptimalSolver,
+        model: &SystemModel,
+        budget_w: f64,
+        telemetry: &Registry,
+        pool: &Pool,
+        parent: &Span,
+    ) -> SolveReport {
+        if let Some((channel, budget, report)) = &self.last {
+            if *channel == model.channel && *budget == budget_w {
+                telemetry.counter("alloc.optimal.replan_hits").inc();
+                let span = parent.child("alloc.optimal.cached");
+                span.attr("budget_w", &format!("{budget_w}"));
+                return report.clone();
+            }
+        }
+        let warm = self.last.as_ref().map(|(_, _, r)| r.allocation.clone());
+        let report = solver.solve_warm_traced_pooled(
+            model,
+            budget_w,
+            warm.as_ref(),
+            telemetry,
+            pool,
+            parent,
+        );
         self.last = Some((model.channel.clone(), budget_w, report.clone()));
         report
     }

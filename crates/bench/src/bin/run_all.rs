@@ -20,7 +20,7 @@
 //! `vlc_obs::ObsOptions` — the exact flag set `densevlc-cli` takes.
 
 use densevlc::experiments::*;
-use vlc_bench::probes::{phase_probe, phy_probe, sparse_probe};
+use vlc_bench::probes::{phase_probe, phy_probe, shard_probe, sparse_probe};
 use vlc_bench::{budget_sweep, rate_sweep};
 use vlc_led::LedParams;
 use vlc_obs::{
@@ -266,9 +266,12 @@ fn main() {
         });
         drop(root);
         if timing {
-            phase_probe(&tracer, opts.jobs);
+            // The probes share the experiment pool — one `par.pool.created`
+            // for the whole run (pinned by `tests/pool_hoist.rs`).
+            phase_probe(&tracer, &pool);
             phy_probe(&tracer);
-            sparse_probe(&tracer, opts.jobs);
+            sparse_probe(&tracer, &pool);
+            shard_probe(&tracer, &pool);
         }
         first_reports.get_or_insert(reports);
     }

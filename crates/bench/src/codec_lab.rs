@@ -295,8 +295,7 @@ fn run_cell(cfg: &CampaignConfig, idx: usize) -> CellReport {
     let mut stack = registry().swap_remove(s);
     let scenario = &cfg.scenarios[sc];
     let profile = &cfg.profiles[p];
-    let mut rng =
-        StdRng::seed_from_u64(cfg.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = StdRng::seed_from_u64(vlc_par::cell_seed(cfg.seed, idx as u64));
 
     let payload_len = scenario.payload_len;
     let mut payload = vec![0u8; payload_len];

@@ -15,13 +15,14 @@ use rand::SeedableRng;
 use vlc_alloc::heuristic::heuristic_allocation_traced;
 use vlc_alloc::model::SystemModel;
 use vlc_alloc::{HeuristicConfig, OptimalSolver, WarmOptimal};
+use vlc_cell::{BuildingConfig, BuildingEngine, Command};
 use vlc_channel::nlos::NlosConfig;
 use vlc_channel::{
     lambertian_order, ChannelMatrix, FovMask, NlosTxCache, RxOptics, SparseChannelView,
 };
 use vlc_geom::{Pose, Room, TxGrid};
 use vlc_led::LedParams;
-use vlc_par::{Jobs, Pool};
+use vlc_par::Pool;
 use vlc_phy::manchester::{manchester_decode, manchester_encode};
 use vlc_phy::packed::PackedChips;
 use vlc_phy::rs::RsCodec;
@@ -39,17 +40,17 @@ use vlc_trace::{Span, Tracer};
 /// `alloc.heuristic.solve`, `alloc.optimal.solve`, `sim.adapt`, `sim.run`,
 /// `sync.link_build`, `sync.pilot_detect`, …) next to the whole-experiment
 /// rows. Scenario 2 at the paper's 1.2 W budget is the reference workload.
-pub fn phase_probe(tracer: &Tracer, jobs: Jobs) {
+pub fn phase_probe(tracer: &Tracer, pool: &Pool) {
     let probe = tracer.root("bench.phase_probe");
     let quiet = Registry::noop();
     let dep = Deployment::scenario(Scenario::Two);
-    ChannelMatrix::compute_with_blockage_traced(
+    ChannelMatrix::compute_with_blockage_pooled(
         &dep.grid,
         &dep.receivers,
         dep.half_power_semi_angle,
         &dep.optics,
         &[],
-        jobs,
+        pool,
         &probe,
     );
     heuristic_allocation_traced(
@@ -60,7 +61,7 @@ pub fn phase_probe(tracer: &Tracer, jobs: Jobs) {
         &quiet,
         &probe,
     );
-    OptimalSolver::quick().solve_traced_jobs(&dep.model, 1.2, &quiet, jobs, &probe);
+    OptimalSolver::quick().solve_traced_pooled(&dep.model, 1.2, &quiet, pool, &probe);
     System::scenario(Scenario::Two, 1.2).adapt_traced(&quiet, &probe);
     Simulation::new(Deployment::scenario(Scenario::Two), 1.2, 0.25).run_traced(0.6, &quiet, &probe);
     let link = NlosSyncLink::between_traced(
@@ -84,23 +85,22 @@ pub fn phase_probe(tracer: &Tracer, jobs: Jobs) {
     drop(probe);
     let probe = tracer.root("bench.incremental_probe");
     let m = lambertian_order(dep.half_power_semi_angle);
-    let nlos_pool = Pool::new(jobs);
     let cache = NlosTxCache::new_pooled(
         &dep.grid.pose(1),
         m,
         &dep.room,
         &NlosConfig::default(),
-        &nlos_pool,
+        pool,
         &probe,
     );
     for follower in [2usize, 7, 8] {
-        cache.floor_gain_pooled(&dep.grid.pose(follower), &dep.optics, &nlos_pool, &probe);
+        cache.floor_gain_pooled(&dep.grid.pose(follower), &dep.optics, pool, &probe);
     }
     let mut warm = WarmOptimal::new();
     let solver = OptimalSolver::quick();
-    warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
+    warm.solve_traced_pooled(&solver, &dep.model, 1.2, &quiet, pool, &probe);
     // Unchanged channel: the replan is skipped (`alloc.optimal.cached`).
-    warm.solve_traced_jobs(&solver, &dep.model, 1.2, &quiet, jobs, &probe);
+    warm.solve_traced_pooled(&solver, &dep.model, 1.2, &quiet, pool, &probe);
 }
 
 /// Times the SoA/sparse channel machinery under a `bench.sparse_probe`
@@ -112,9 +112,8 @@ pub fn phase_probe(tracer: &Tracer, jobs: Jobs) {
 /// row is a *new* span name (`sparse.*`), and each timed workload calls an
 /// untraced entry point inside the timing span, so all pre-existing BENCH
 /// rows keep their historical meaning and stay gate-comparable.
-pub fn sparse_probe(tracer: &Tracer, jobs: Jobs) {
+pub fn sparse_probe(tracer: &Tracer, pool: &Pool) {
     let probe = tracer.root("bench.sparse_probe");
-    let pool = Pool::new(jobs);
 
     // Paper geometry: Scenario 2, 36 TX / 4 RX, wide-open receivers.
     let dep = Deployment::scenario(Scenario::Two);
@@ -134,7 +133,7 @@ pub fn sparse_probe(tracer: &Tracer, jobs: Jobs) {
             &dep.optics,
             &[],
             Some(&mask),
-            &pool,
+            pool,
             &Span::noop(),
         )
     };
@@ -146,11 +145,11 @@ pub fn sparse_probe(tracer: &Tracer, jobs: Jobs) {
     let solver = OptimalSolver::quick();
     {
         let _span = probe.child("sparse.solve.paper");
-        solver.solve_jobs(&dep.model, 1.2, jobs);
+        solver.solve_traced_pooled(&dep.model, 1.2, &Registry::noop(), pool, &Span::noop());
     }
     {
         let _span = probe.child("sparse.solve.dense.paper");
-        solver.solve_dense_jobs(&dep.model, 1.2, jobs);
+        solver.solve_dense_pooled(&dep.model, 1.2, pool);
     }
 
     // Synthetic building floor: 144 TX / 16 narrow-FOV RX.
@@ -187,7 +186,7 @@ pub fn sparse_probe(tracer: &Tracer, jobs: Jobs) {
             hpsa,
             &optics,
             &[],
-            &pool,
+            pool,
             &Span::noop(),
         )
     };
@@ -200,7 +199,7 @@ pub fn sparse_probe(tracer: &Tracer, jobs: Jobs) {
             &optics,
             &[],
             Some(&mask),
-            &pool,
+            pool,
             &Span::noop(),
         )
     };
@@ -219,11 +218,67 @@ pub fn sparse_probe(tracer: &Tracer, jobs: Jobs) {
     };
     {
         let _span = probe.child("sparse.solve.building");
-        building_solver.solve_jobs(&model, 1.2, jobs);
+        building_solver.solve_traced_pooled(&model, 1.2, &Registry::noop(), pool, &Span::noop());
     }
     {
         let _span = probe.child("sparse.solve.dense.building");
-        building_solver.solve_dense_jobs(&model, 1.2, jobs);
+        building_solver.solve_dense_pooled(&model, 1.2, pool);
+    }
+}
+
+/// Times the sharded building control plane under a `bench.shard_probe`
+/// root at the acceptance geometry — a 10 × 10 building (N = 100 cells),
+/// one session per room, heuristic policy. Three repeated rows:
+/// `shard.tick.steady` (no shard dirty — the O(1) bookkeeping path),
+/// `shard.tick.one_dirty` (one session moved, one shard replanned), and
+/// `shard.tick.all_dirty` (every session moved, every shard replanned).
+/// The sharding win is the gap between the last two: the dirty-set batch
+/// only pays for rooms that changed, so the one-dirty median sits an
+/// order of magnitude under all-dirty at this N. Commands are applied
+/// outside the spans — each row times `control_tick` alone.
+pub fn shard_probe(tracer: &Tracer, pool: &Pool) {
+    const REPS: usize = 9;
+    let probe = tracer.root("bench.shard_probe");
+    let cfg = BuildingConfig::paper(10, 10);
+    let map = cfg.map();
+    let cells = map.cells();
+    probe.attr("cells", &cells.to_string());
+    let registry = Registry::noop();
+    let mut engine = BuildingEngine::new(&cfg, &registry);
+    let quiet = Span::noop();
+    let global = |cell: usize, lx: f64, ly: f64| {
+        let (ox, oy) = map.origin(cell);
+        (ox + lx, oy + ly)
+    };
+    for cell in 0..cells {
+        let (x, y) = global(cell, 1.0, 1.0);
+        let session = cell as u64;
+        engine.apply(&Command::Arrive { session, x, y });
+    }
+    engine.control_tick(pool, &quiet);
+
+    for rep in 0..REPS {
+        let span = probe.child("shard.tick.steady");
+        engine.control_tick(pool, &quiet);
+        drop(span);
+
+        // Alternate between two in-room poses so every rep's move really
+        // changes the channel (no replan-cache hits inside the rows).
+        let lx = if rep % 2 == 0 { 1.3 } else { 1.0 };
+        let (x, y) = global(0, lx, 1.1);
+        engine.apply(&Command::Move { session: 0, x, y });
+        let span = probe.child("shard.tick.one_dirty");
+        engine.control_tick(pool, &quiet);
+        drop(span);
+
+        for cell in 0..cells {
+            let (x, y) = global(cell, lx, 1.2);
+            let session = cell as u64;
+            engine.apply(&Command::Move { session, x, y });
+        }
+        let span = probe.child("shard.tick.all_dirty");
+        engine.control_tick(pool, &quiet);
+        drop(span);
     }
 }
 

@@ -1,0 +1,31 @@
+//! The pool-hoist contract: one timed probe pass — phase, sparse, and
+//! shard probes, the exact workloads `run_all` times per `--bench-repeat`
+//! iteration — runs every tracked parallel dispatch on ONE caller-supplied
+//! worker pool. `Pool::with_telemetry` bumps `par.pool.created`, so the
+//! registry watching the harness pool must see exactly one creation no
+//! matter how many matrix builds, solves, and control ticks execute.
+
+use vlc_bench::probes::{phase_probe, shard_probe, sparse_probe};
+use vlc_par::{Jobs, Pool};
+use vlc_telemetry::Registry;
+use vlc_trace::Tracer;
+
+#[test]
+fn probes_share_one_worker_pool() {
+    let registry = Registry::new();
+    let pool = Pool::new(Jobs::of(2)).with_telemetry(&registry);
+    let tracer = Tracer::new();
+    phase_probe(&tracer, &pool);
+    sparse_probe(&tracer, &pool);
+    shard_probe(&tracer, &pool);
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("par.pool.created"),
+        Some(1),
+        "a probe built its own tracked pool instead of reusing the harness's"
+    );
+    assert!(
+        snap.counter("par.map_calls").unwrap_or(0) > 10,
+        "the shared pool never dispatched the probe work"
+    );
+}

@@ -1,0 +1,146 @@
+//! Building geometry: a grid of identical rooms and the global↔local
+//! coordinate mapping that assigns sessions to cells.
+//!
+//! The building is a `cols × rows` grid of copies of one room, tiled in
+//! the XY plane with cell 0 at the origin and cells numbered row-major
+//! (`cell = row * cols + col`). Every room carries the same ceiling
+//! `TxGrid` in *local* (per-room) coordinates, so a shard's channel
+//! computation is independent of where its room sits in the building —
+//! only the session's local pose matters.
+//!
+//! The mapping functions here are pure float arithmetic with no hidden
+//! state, so placement is bitwise reproducible: the same global position
+//! always lands in the same cell with the same local coordinates, on any
+//! worker count.
+
+use vlc_geom::Room;
+
+/// The building layout: one room geometry tiled `cols × rows` times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildingMap {
+    room: Room,
+    cols: usize,
+    rows: usize,
+}
+
+impl BuildingMap {
+    /// A building of `cols × rows` copies of `room`.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(room: Room, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "building needs at least one room");
+        BuildingMap { room, cols, rows }
+    }
+
+    /// The per-room geometry.
+    pub fn room(&self) -> &Room {
+        &self.room
+    }
+
+    /// Rooms along X.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rooms along Y.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total cell count.
+    pub fn cells(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Building extent along X in metres.
+    pub fn width(&self) -> f64 {
+        self.room.width * self.cols as f64
+    }
+
+    /// Building extent along Y in metres.
+    pub fn depth(&self) -> f64 {
+        self.room.depth * self.rows as f64
+    }
+
+    /// Clamps a global position into the building footprint (half-open on
+    /// the far edges so the clamped point still maps into the last cell).
+    pub fn clamp(&self, x: f64, y: f64) -> (f64, f64) {
+        let eps = 1e-9;
+        (
+            x.clamp(0.0, self.width() - eps),
+            y.clamp(0.0, self.depth() - eps),
+        )
+    }
+
+    /// The cell owning global position `(x, y)`; positions outside the
+    /// footprint are clamped to the nearest edge cell first.
+    pub fn cell_of(&self, x: f64, y: f64) -> usize {
+        let col = ((x / self.room.width).floor() as isize).clamp(0, self.cols as isize - 1);
+        let row = ((y / self.room.depth).floor() as isize).clamp(0, self.rows as isize - 1);
+        row as usize * self.cols + col as usize
+    }
+
+    /// The `(col, row)` coordinates of `cell`.
+    ///
+    /// # Panics
+    /// Panics if `cell` is out of range.
+    pub fn cell_rc(&self, cell: usize) -> (usize, usize) {
+        assert!(cell < self.cells(), "cell {cell} out of range");
+        (cell % self.cols, cell / self.cols)
+    }
+
+    /// The global XY position of `cell`'s local origin.
+    pub fn origin(&self, cell: usize) -> (f64, f64) {
+        let (col, row) = self.cell_rc(cell);
+        (col as f64 * self.room.width, row as f64 * self.room.depth)
+    }
+
+    /// Converts a global position to `cell`-local room coordinates.
+    ///
+    /// This is the one translation the whole engine uses, so the identity
+    /// tests can reproduce a shard's local poses exactly by calling it.
+    pub fn to_local(&self, cell: usize, x: f64, y: f64) -> (f64, f64) {
+        let (ox, oy) = self.origin(cell);
+        (x - ox, y - oy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> BuildingMap {
+        BuildingMap::new(Room::paper_testbed(), 4, 3)
+    }
+
+    #[test]
+    fn row_major_cell_numbering() {
+        let m = map();
+        assert_eq!(m.cells(), 12);
+        assert_eq!(m.cell_of(0.1, 0.1), 0);
+        // One room right of the origin (room is 3 m wide).
+        assert_eq!(m.cell_of(3.1, 0.1), 1);
+        // One room up (room is 3 m deep) starts the second row.
+        assert_eq!(m.cell_of(0.1, 3.1), 4);
+        assert_eq!(m.cell_rc(5), (1, 1));
+        assert_eq!(m.origin(5), (3.0, 3.0));
+    }
+
+    #[test]
+    fn out_of_footprint_positions_clamp_to_edge_cells() {
+        let m = map();
+        assert_eq!(m.cell_of(-1.0, -1.0), 0);
+        assert_eq!(m.cell_of(1e9, 1e9), m.cells() - 1);
+        let (x, y) = m.clamp(1e9, -5.0);
+        assert!(x < m.width() && y == 0.0);
+    }
+
+    #[test]
+    fn local_coordinates_subtract_the_cell_origin() {
+        let m = map();
+        let (lx, ly) = m.to_local(5, 3.25, 4.5);
+        assert!((lx - 0.25).abs() < 1e-12);
+        assert!((ly - 1.5).abs() < 1e-12);
+    }
+}

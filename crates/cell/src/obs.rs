@@ -1,0 +1,136 @@
+//! `densevlc-obs/1` NDJSON export for the building service loop.
+//!
+//! [`BuildingObs`] turns the engine's [`TickReport`] stream into the
+//! same self-describing record stream the simulator emits (one `meta`
+//! header, periodic `window` records, one final `summary`), so
+//! `obs_check`, the monitor view, and the stream parser all work on
+//! building runs unchanged.
+//!
+//! The stream carries **no wall-clock data** — every value is a pure
+//! function of the command stream — so it is byte-identical at any
+//! `DENSEVLC_JOBS` (asserted by `tests/stream_determinism.rs`). On a
+//! non-flush tick, [`BuildingObs::observe`] only appends samples to
+//! pre-allocated rolling windows: once the ring is warm it allocates
+//! nothing, keeping the steady-state control tick allocation-free.
+
+use crate::building::BuildingMap;
+use crate::engine::TickReport;
+use std::io;
+use vlc_obs::{ObsRecord, ObsSink, RollingWindow, WindowConfig, OBS_SCHEMA};
+
+/// Building-level signals exported as rolling windows, in stream order.
+const SIGNALS: [&str; 5] = [
+    "building.sessions",
+    "building.bps",
+    "building.events",
+    "building.replans",
+    "building.handovers",
+];
+
+/// Shape of a building obs stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildingObsConfig {
+    /// Run label for the `meta` record.
+    pub run: String,
+    /// Flush cadence in ticks (window records are emitted every `every`
+    /// ticks; min 1).
+    pub every: u64,
+    /// Rolling-window shape shared by all building signals.
+    pub window: WindowConfig,
+}
+
+impl Default for BuildingObsConfig {
+    fn default() -> Self {
+        BuildingObsConfig {
+            run: "building".to_string(),
+            every: 50,
+            window: WindowConfig::default(),
+        }
+    }
+}
+
+/// The service-loop exporter. Create one per run, feed it every tick
+/// report, and call [`BuildingObs::finish`] before dropping it.
+pub struct BuildingObs {
+    sink: Box<dyn ObsSink>,
+    every: u64,
+    windows: [RollingWindow; 5],
+    ticks: u64,
+    sum_bps: f64,
+}
+
+impl BuildingObs {
+    /// Opens the stream: writes the `meta` header (`n_rx` carries the
+    /// cell count — the building's unit of observation).
+    pub fn new(
+        cfg: &BuildingObsConfig,
+        map: &BuildingMap,
+        mut sink: Box<dyn ObsSink>,
+    ) -> io::Result<Self> {
+        let every = cfg.every.max(1);
+        let meta = ObsRecord::Meta {
+            schema: OBS_SCHEMA.to_string(),
+            run: cfg.run.clone(),
+            tick_s: 0.0,
+            n_rx: map.cells() as u64,
+            every,
+        };
+        sink.write_line(&meta.to_line())?;
+        Ok(BuildingObs {
+            sink,
+            every,
+            windows: std::array::from_fn(|_| RollingWindow::new(cfg.window)),
+            ticks: 0,
+            sum_bps: 0.0,
+        })
+    }
+
+    /// Ingests one tick report; emits window records and flushes every
+    /// `every` ticks. Allocation-free on non-flush ticks once the window
+    /// rings are warm.
+    pub fn observe(&mut self, report: &TickReport) -> io::Result<()> {
+        let samples = [
+            report.sessions as f64,
+            report.system_bps,
+            report.events as f64,
+            report.replans as f64,
+            report.handovers as f64,
+        ];
+        for (w, v) in self.windows.iter_mut().zip(samples) {
+            w.record(report.tick, v);
+        }
+        self.ticks += 1;
+        self.sum_bps += report.system_bps;
+        if (report.tick + 1).is_multiple_of(self.every) {
+            for (w, signal) in self.windows.iter().zip(SIGNALS) {
+                let record = ObsRecord::Window {
+                    tick: report.tick,
+                    signal: signal.to_string(),
+                    stats: w.stats(report.tick),
+                };
+                self.sink.write_line(&record.to_line())?;
+            }
+            self.sink.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Closes the stream with the `summary` record.
+    pub fn finish(mut self) -> io::Result<()> {
+        let ticks = self.ticks;
+        let summary = ObsRecord::Summary {
+            ticks,
+            mean_system_bps: if ticks == 0 {
+                0.0
+            } else {
+                self.sum_bps / ticks as f64
+            },
+            alerts_fired: 0,
+            alerts_cleared: 0,
+            events_dropped: 0,
+            spans_dropped: 0,
+        };
+        self.sink.write_line(&summary.to_line())?;
+        self.sink.flush()
+    }
+}

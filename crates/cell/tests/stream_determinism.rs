@@ -1,0 +1,76 @@
+//! End-to-end worker-count independence of the service loop: a full
+//! load-generated run — handovers included — must emit a byte-identical
+//! obs stream and bitwise-identical shard timelines at any
+//! `DENSEVLC_JOBS`.
+
+use vlc_cell::{
+    drive, BuildingConfig, BuildingEngine, BuildingObs, BuildingObsConfig, LoadGenConfig, ShardTick,
+};
+use vlc_obs::MemorySink;
+use vlc_par::{Jobs, Pool};
+use vlc_telemetry::Registry;
+use vlc_trace::Span;
+
+struct RunResult {
+    stream: String,
+    timelines: Vec<Vec<ShardTick>>,
+    system_bps: u64,
+    handovers: u64,
+}
+
+fn run(jobs: Jobs) -> RunResult {
+    let load = LoadGenConfig {
+        cols: 3,
+        rows: 3,
+        ticks: 80,
+        target_events: 4_000,
+        seed: 11,
+        mean_lifetime_ticks: 30,
+        move_period_ticks: 3,
+        step_m: 2.0, // bigger than half a room: handovers guaranteed
+    };
+    let mut cfg = BuildingConfig::paper(load.cols, load.rows);
+    cfg.record_timelines = true;
+    let registry = Registry::new();
+    let mut engine = BuildingEngine::new(&cfg, &registry);
+    let pool = Pool::new(jobs).with_telemetry(&registry);
+    let obs_cfg = BuildingObsConfig {
+        every: 10,
+        ..BuildingObsConfig::default()
+    };
+    let sink = MemorySink::new();
+    let mut obs =
+        BuildingObs::new(&obs_cfg, &engine.map().clone(), Box::new(sink.clone())).expect("obs");
+    let report = drive(
+        &mut engine,
+        &load.schedule(),
+        &pool,
+        Some(&mut obs),
+        &Span::noop(),
+    )
+    .expect("drive");
+    obs.finish().expect("finish");
+    assert!(report.handovers > 0, "workload produced no handovers");
+    RunResult {
+        stream: sink.text(),
+        timelines: (0..load.cols * load.rows)
+            .map(|c| engine.shard(c).timeline().to_vec())
+            .collect(),
+        system_bps: engine.system_bps().to_bits(),
+        handovers: report.handovers,
+    }
+}
+
+#[test]
+fn obs_stream_and_timelines_are_jobs_independent() {
+    let a = run(Jobs::of(1));
+    let b = run(Jobs::of(4));
+    let c = run(Jobs::max());
+    assert_eq!(a.stream, b.stream, "obs stream differs at jobs=4");
+    assert_eq!(a.stream, c.stream, "obs stream differs at jobs=max");
+    assert_eq!(a.timelines, b.timelines, "timelines differ at jobs=4");
+    assert_eq!(a.timelines, c.timelines, "timelines differ at jobs=max");
+    assert_eq!(a.system_bps, b.system_bps, "system bps differs at jobs=4");
+    assert_eq!(a.handovers, b.handovers, "handover count differs at jobs=4");
+    assert!(a.stream.lines().count() > 10, "stream suspiciously short");
+}

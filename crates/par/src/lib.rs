@@ -39,6 +39,8 @@
 
 pub mod jobs;
 pub mod pool;
+pub mod seed;
 
 pub use jobs::{available_parallelism, Jobs, JOBS_ENV};
 pub use pool::{par_map_indexed, Pool, DEFAULT_CHUNK};
+pub use seed::{cell_seed, SEED_GAMMA};

@@ -9,6 +9,7 @@
 //! densevlc-cli iperf   [--frames N]                      Table-5 experiment
 //! densevlc-cli faceoff [--scenario 1|2|3]                Fig-21 comparison
 //! densevlc-cli sim     [--scenario 1|2|3] [--duration S] streamed simulation
+//! densevlc-cli building [--rooms CxR] [--events N]       sharded multi-cell load
 //! densevlc-cli monitor <stream.ndjson> [--follow]        dashboard from a stream
 //! densevlc-cli profile <command> [options]               profiled run of any command
 //! densevlc-cli help
@@ -37,13 +38,16 @@ use std::path::Path;
 
 use densevlc::experiments::{fig05_illuminance, fig21_baselines, tab04_sync_error, tab05_iperf};
 use densevlc::{Simulation, System};
+use vlc_cell::{
+    drive, BuildingConfig, BuildingEngine, BuildingObs, BuildingObsConfig, LoadGenConfig,
+};
 use vlc_led::LedParams;
 use vlc_obs::{
     densevlc_defaults, inject_panic_from_env, monitor::render, parse_stream, FileSink,
     FlightRecorder, MemorySink, ObsConfig, ObsOptions, ObsPlane, ObsRecord, ObsSink,
     TelemetryFormat, WindowConfig,
 };
-use vlc_par::Jobs;
+use vlc_par::{Jobs, Pool};
 use vlc_prof::alloc_counter::{AllocScope, CountingAlloc};
 use vlc_prof::{flamegraph_from_profile, to_folded, Profile};
 use vlc_telemetry::Registry;
@@ -104,6 +108,7 @@ fn main() {
         "iperf" => iperf(rest(&args), &telemetry),
         "faceoff" => faceoff(rest(&args)),
         "sim" => sim(rest(&args), &telemetry, &root, &obs, &tracer, profiling),
+        "building" => building(rest(&args), &telemetry, &root, &obs),
         "monitor" => monitor(rest(&args)),
         "help" | "--help" | "-h" => help(),
         other => {
@@ -194,6 +199,16 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+fn u64_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad {flag} value `{v}`");
+            std::process::exit(2);
+        }),
+    }
 }
 
 fn f64_flag(args: &[String], flag: &str, default: f64) -> f64 {
@@ -379,6 +394,76 @@ fn faceoff(args: &[String]) {
     print!("{}", fig21_baselines::run(scenario_arg(args)).report());
 }
 
+/// Drives a deterministic synthetic session load through the sharded
+/// multi-cell building engine (`crates/cell`, docs/SHARDING.md) — the
+/// CLI-sized cousin of `cargo run --release -p vlc-cell --bin load_gen`,
+/// sharing its schedule generator so the workload is a pure function of
+/// the seed. `--obs-stream` emits the `building.*` NDJSON signals.
+fn building(args: &[String], telemetry: &Registry, parent: &Span, obs: &ObsOptions) {
+    let rooms = flag_value(args, "--rooms").unwrap_or_else(|| "4x3".into());
+    let parsed = rooms
+        .split_once('x')
+        .and_then(|(c, r)| Some((c.parse::<usize>().ok()?, r.parse::<usize>().ok()?)));
+    let (cols, rows) = match parsed {
+        Some((c, r)) if c * r > 0 => (c, r),
+        _ => {
+            eprintln!("bad --rooms value `{rooms}` (expected CxR, e.g. 4x3)");
+            std::process::exit(2);
+        }
+    };
+    let load = LoadGenConfig {
+        cols,
+        rows,
+        ticks: u64_flag(args, "--ticks", 300),
+        target_events: u64_flag(args, "--events", 60_000),
+        seed: u64_flag(args, "--seed", 42),
+        mean_lifetime_ticks: u64_flag(args, "--lifetime", 80),
+        move_period_ticks: u64_flag(args, "--move-period", 6),
+        step_m: f64_flag(args, "--step", 1.5),
+    };
+    let config = BuildingConfig::paper(cols, rows);
+    let mut engine = BuildingEngine::new(&config, telemetry);
+    let pool = Pool::new(Jobs::from_env()).with_telemetry(telemetry);
+    let mut plane = obs.obs_stream.as_ref().map(|path| {
+        let sink: Box<dyn ObsSink> = match FileSink::create(Path::new(path)) {
+            Ok(f) => Box::new(f),
+            Err(e) => {
+                eprintln!("cannot create obs stream `{path}`: {e}");
+                std::process::exit(2);
+            }
+        };
+        let cfg = BuildingObsConfig {
+            run: format!("cli building seed{}", load.seed),
+            every: obs.obs_every,
+            ..BuildingObsConfig::default()
+        };
+        BuildingObs::new(&cfg, engine.map(), sink).expect("obs meta record")
+    });
+    let report = drive(&mut engine, &load.schedule(), &pool, plane.as_mut(), parent)
+        .expect("obs sink write");
+    if let Some(plane) = plane {
+        plane.finish().expect("obs summary record");
+    }
+    println!(
+        "building {cols}x{rows} ({} rooms), seed {}: {} events, {} sessions (peak {}), \
+         {} handovers",
+        cols * rows,
+        load.seed,
+        report.events,
+        report.sessions,
+        report.peak_sessions,
+        report.handovers
+    );
+    println!(
+        "replans {} (cache hits {}) · wall {:.2} s · events/s {:.0} · replans/s {:.0}",
+        report.replans, report.plan_hits, report.wall_s, report.events_per_s, report.replans_per_s
+    );
+    println!(
+        "control tick p50 {:.1} µs · p99 {:.1} µs · max {:.1} µs · system {:.3e} bit/s",
+        report.tick_p50_us, report.tick_p99_us, report.tick_max_us, report.final_system_bps
+    );
+}
+
 /// Runs the composable simulation, optionally streaming the
 /// observability plane; `--person X Y` drops a standing occluder to make
 /// blockage (and the per-RX throughput SLOs) do something.
@@ -534,6 +619,11 @@ fn help() {
          sim     [--scenario 1|2|3] [--budget W] [--duration S] [--period S]\n  \
          \x20       [--person X Y] [--slo-bps BPS] [--slo-solver-s S]\n  \
          \x20                                        run the tick simulation\n  \
+         building [--rooms CxR] [--ticks N] [--events N] [--seed N]\n  \
+         \x20        [--lifetime T] [--move-period T] [--step M]\n  \
+         \x20                                        drive a synthetic session load\n  \
+         \x20                                        through the sharded multi-cell\n  \
+         \x20                                        engine (docs/SHARDING.md)\n  \
          monitor <stream.ndjson> [--follow]       dashboard from an obs stream\n  \
          profile <command> [options]              run any command with the tracer\n  \
          \x20                                        live and print self/inclusive\n  \

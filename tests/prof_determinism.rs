@@ -7,7 +7,7 @@
 //! under a manual clock) and the JSON/folded round trips on real data.
 
 use vlc_bench::probes::{phase_probe, phy_probe};
-use vlc_par::Jobs;
+use vlc_par::{Jobs, Pool};
 use vlc_prof::{parse_folded, to_folded, Profile};
 use vlc_telemetry::ManualClock;
 use vlc_trace::Tracer;
@@ -22,7 +22,7 @@ fn job_grid() -> [Jobs; 4] {
 /// under a manual clock and folds the trace into a profile.
 fn probe_profile(jobs: Jobs) -> Profile {
     let tracer = Tracer::with_clock(ManualClock::new());
-    phase_probe(&tracer, jobs);
+    phase_probe(&tracer, &Pool::new(jobs));
     phy_probe(&tracer);
     Profile::from_snapshot(&tracer.snapshot(), jobs.get())
 }
